@@ -1,0 +1,44 @@
+"""Ablation: do larger / boosted ensembles beat the SVM?
+
+The paper states that "more complex techniques, e.g. larger ensemble
+methods do not produce noticeable improvements in accuracy" (Section 1).
+This bench puts AdaBoost and gradient boosting through the exact pipeline
+the four paper classifiers use and checks that neither *noticeably*
+outperforms the SVM (noticeable = more than 2x its mean accuracy ratio,
+a deliberately generous bar given per-step noise at this scale).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import write_result
+from repro.classify import ClassificationPredictor
+
+MODELS = ("SVM", "RF", "AdaBoost", "GBT")
+
+
+def run_models(instances, theta=1 / 50, seeds=2):
+    out = {}
+    for name in MODELS:
+        ratios = []
+        for instance in instances:
+            for seed in range(seeds):
+                predictor = ClassificationPredictor(name, theta=theta, seed=seed)
+                ratios.append(predictor.evaluate_instance(instance, rng=seed).ratio)
+        out[name] = float(np.mean(ratios))
+    return out
+
+
+def test_ablation_ensembles_do_not_noticeably_help(
+    classification_instances, benchmark
+):
+    results = benchmark.pedantic(
+        lambda: run_models(classification_instances["facebook"]),
+        rounds=1,
+        iterations=1,
+    )
+    lines = [f"{name:10s} {ratio:8.2f}" for name, ratio in results.items()]
+    write_result("ablation_ensembles", "\n".join(lines))
+
+    svm = results["SVM"]
+    for name in ("RF", "AdaBoost", "GBT"):
+        assert results[name] <= max(2.0 * svm, svm + 2.0), (name, results)

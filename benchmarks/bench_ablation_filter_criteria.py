@@ -1,0 +1,76 @@
+"""Ablation of the temporal filter's four criteria (Section 6.2).
+
+Drops each criterion in turn (by widening its threshold to infinity) and
+measures search-space reduction and accuracy.  Shape target: the full
+filter prunes the most, and no single criterion carries the whole effect —
+the criteria are complementary views of node activity.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import write_result
+from repro.eval.experiment import evaluate_step
+from repro.metrics.candidates import two_hop_pairs
+from repro.temporal import FilterParams, TemporalFilter, calibrate_filter
+
+HUGE = 1e9
+
+VARIANTS = {
+    "full": {},
+    "no_active_idle": dict(d_act=HUGE),
+    "no_inactive_idle": dict(d_inact=HUGE),
+    "no_recent_edges": dict(min_new_edges=0),
+    "no_cn_gap": dict(d_cn=HUGE),
+}
+
+
+def ablate(params: FilterParams, **overrides) -> TemporalFilter:
+    values = dict(
+        d_act=params.d_act,
+        d_inact=params.d_inact,
+        window=params.window,
+        min_new_edges=params.min_new_edges,
+        d_cn=params.d_cn,
+    )
+    values.update(overrides)
+    return TemporalFilter(FilterParams(**values))
+
+
+def run_ablation(data):
+    cal_prev, _, cal_truth = data.steps[len(data.steps) // 2]
+    base_params = calibrate_filter(cal_prev, cal_truth, two_hop_pairs(cal_prev), rng=0)
+    eval_idx = data.eval_indices[-3:]
+    rows = {}
+    for label, overrides in VARIANTS.items():
+        filt = ablate(base_params, **overrides)
+        reductions, ratios = [], []
+        for i in eval_idx:
+            prev, _, truth = data.steps[i]
+            pairs = two_hop_pairs(prev)
+            reductions.append(filt.reduction(prev, pairs))
+            ratios.append(
+                evaluate_step("RA", prev, truth, rng=100 + i, pair_filter=filt).ratio
+            )
+        rows[label] = (float(np.mean(reductions)), float(np.mean(ratios)))
+    return rows
+
+
+def test_ablation_filter_criteria(networks, benchmark):
+    rows = benchmark.pedantic(
+        lambda: run_ablation(networks["facebook"]), rounds=1, iterations=1
+    )
+    lines = [f"{'variant':18s} {'reduction':>10s} {'RA ratio':>9s}"]
+    for label, (reduction, ratio) in rows.items():
+        lines.append(f"{label:18s} {100 * reduction:9.1f}% {ratio:9.2f}")
+    write_result("ablation_filter_criteria", "\n".join(lines))
+
+    full_reduction = rows["full"][0]
+    # The full filter prunes at least as much as any single-criterion drop.
+    for label, (reduction, _) in rows.items():
+        assert reduction <= full_reduction + 1e-9, (label, rows)
+    # No single criterion is the whole story: dropping any one still leaves
+    # a filter that prunes something.
+    pruning_variants = sum(
+        1 for label, (red, _) in rows.items() if label != "full" and red > 0.05
+    )
+    assert pruning_variants >= 3, rows

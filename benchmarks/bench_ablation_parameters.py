@@ -1,0 +1,116 @@
+"""Ablations of the paper's parameter choices (Section 3.2).
+
+The paper fixes several hyper-parameters after tuning: LP's eps = 1e-4,
+Katz's beta = 1e-3, PPR's alpha = 0.15, and RESCAL's rank.  These benches
+sweep each one and check that the paper's choice sits in the right regime
+on the corresponding network.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import write_result
+from repro.eval.experiment import evaluate_step
+from repro.metrics.base import get_metric
+
+
+def sweep(data, factory, labels, seeds=(0, 1)):
+    """Mean accuracy ratio for each parameterised metric instance."""
+    eval_idx = data.eval_indices[-3:]
+    out = {}
+    for label, metric_args in labels.items():
+        ratios = []
+        for i in eval_idx:
+            prev, _, truth = data.steps[i]
+            for seed in seeds:
+                metric = factory(**metric_args)
+                ratios.append(
+                    evaluate_step(metric, prev, truth, rng=seed * 1000 + i).ratio
+                )
+        out[label] = float(np.mean(ratios))
+    return out
+
+
+def test_ablation_lp_epsilon(networks, benchmark):
+    """LP's eps must act as a tie-breaker: tiny eps ~ paper's 1e-4; a huge
+    eps (3-hop paths dominating) degrades toward path-count noise."""
+    data = networks["facebook"]
+    labels = {
+        "eps=0": dict(epsilon=0.0),
+        "eps=1e-4": dict(epsilon=1e-4),
+        "eps=1e-2": dict(epsilon=1e-2),
+        "eps=10": dict(epsilon=10.0),
+    }
+    result = benchmark.pedantic(
+        lambda: sweep(data, lambda **kw: get_metric("LP", **kw), labels),
+        rounds=1,
+        iterations=1,
+    )
+    write_result(
+        "ablation_lp_epsilon",
+        "\n".join(f"{k:10s} {v:8.2f}" for k, v in result.items()),
+    )
+    assert result["eps=1e-4"] >= 0.5 * max(result.values())
+
+
+def test_ablation_katz_beta(networks, benchmark):
+    """Katz beta sweep: small beta (paper: 1e-3) must be competitive; beta
+    close to the spectral radius inverse destabilises the series."""
+    data = networks["facebook"]
+    labels = {
+        "beta=1e-4": dict(beta=1e-4, max_length=4),
+        "beta=1e-3": dict(beta=1e-3, max_length=4),
+        "beta=1e-2": dict(beta=1e-2, max_length=4),
+    }
+    result = benchmark.pedantic(
+        lambda: sweep(data, lambda **kw: get_metric("Katz_sc", **kw), labels),
+        rounds=1,
+        iterations=1,
+    )
+    write_result(
+        "ablation_katz_beta",
+        "\n".join(f"{k:10s} {v:8.2f}" for k, v in result.items()),
+    )
+    assert result["beta=1e-3"] >= 0.4 * max(result.values())
+
+
+def test_ablation_rescal_rank(networks, benchmark):
+    """RESCAL rank sweep on the subscription network: too small a latent
+    space cannot separate communities; the default (25) must be in the
+    useful regime."""
+    data = networks["youtube"]
+    labels = {
+        "rank=2": dict(rank=2),
+        "rank=8": dict(rank=8),
+        "rank=25": dict(rank=25),
+    }
+    result = benchmark.pedantic(
+        lambda: sweep(data, lambda **kw: get_metric("Rescal", **kw), labels),
+        rounds=1,
+        iterations=1,
+    )
+    write_result(
+        "ablation_rescal_rank",
+        "\n".join(f"{k:10s} {v:8.2f}" for k, v in result.items()),
+    )
+    assert result["rank=25"] >= result["rank=2"] * 0.8
+
+
+def test_ablation_ppr_alpha(networks, benchmark):
+    """PPR restart probability sweep around the paper's 0.15."""
+    data = networks["facebook"]
+    labels = {
+        "alpha=0.05": dict(alpha=0.05),
+        "alpha=0.15": dict(alpha=0.15),
+        "alpha=0.5": dict(alpha=0.5),
+        "alpha=0.9": dict(alpha=0.9),
+    }
+    result = benchmark.pedantic(
+        lambda: sweep(data, lambda **kw: get_metric("PPR", **kw), labels),
+        rounds=1,
+        iterations=1,
+    )
+    write_result(
+        "ablation_ppr_alpha",
+        "\n".join(f"{k:12s} {v:8.2f}" for k, v in result.items()),
+    )
+    assert result["alpha=0.15"] >= 0.4 * max(result.values())

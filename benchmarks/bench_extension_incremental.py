@@ -1,0 +1,74 @@
+"""Extension bench: streaming vs batch candidate maintenance.
+
+``IncrementalNeighborhood`` maintains the 2-hop candidate map in
+``O(deg(u) + deg(v))`` per inserted edge; the batch pipeline recomputes
+``A²`` per snapshot.  This bench times both on the same edge stream and
+checks they agree — the point where streaming wins is the design argument
+for the extension.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import write_result
+from repro.extensions.incremental import IncrementalNeighborhood
+from repro.graph.snapshots import Snapshot
+from repro.metrics.candidates import two_hop_pairs
+
+
+def test_incremental_matches_batch_on_preset(networks, benchmark):
+    data = networks["facebook"]
+    trace = data.trace
+    edges = [(u, v) for u, v, _ in trace.edges()]
+
+    def stream_everything():
+        inc = IncrementalNeighborhood()
+        inc.extend(edges)
+        return inc
+
+    inc = benchmark.pedantic(stream_everything, rounds=1, iterations=1)
+    snapshot = Snapshot(trace, trace.num_edges)
+    batch = {tuple(p) for p in two_hop_pairs(snapshot)}
+    streaming = {tuple(p) for p in inc.two_hop_pairs()}
+    assert streaming == batch
+    write_result(
+        "extension_incremental",
+        f"edges streamed: {len(edges)}\n"
+        f"2-hop candidates maintained: {len(streaming)}\n"
+        f"agrees with batch A^2 enumeration: True",
+    )
+
+
+def test_incremental_update_cost_is_local(networks, benchmark):
+    """Per-edge update touches only the endpoint neighbourhoods: inserting
+    the last 10% of edges costs a small fraction of a full rebuild."""
+    data = networks["facebook"]
+    edges = [(u, v) for u, v, _ in data.trace.edges()]
+    cut = int(len(edges) * 0.9)
+    warm = IncrementalNeighborhood()
+    warm.extend(edges[:cut])
+
+    import copy
+    import time
+
+    def tail_updates():
+        inc = copy.deepcopy(warm)
+        inc.extend(edges[cut:])
+        return inc
+
+    benchmark.pedantic(tail_updates, rounds=1, iterations=1)
+
+    # Manual timing for the comparison line (deepcopy excluded).
+    inc = copy.deepcopy(warm)
+    t0 = time.perf_counter()
+    inc.extend(edges[cut:])
+    tail_time = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    full = IncrementalNeighborhood()
+    full.extend(edges)
+    full_time = time.perf_counter() - t0
+    write_result(
+        "extension_incremental_cost",
+        f"full rebuild: {full_time * 1000:.1f} ms\n"
+        f"last-10% streaming update: {tail_time * 1000:.1f} ms",
+    )
+    assert tail_time < full_time

@@ -1,0 +1,99 @@
+"""Figure 10: classification accuracy as a function of the undersampling
+ratio theta used during training.
+
+The paper's finding: accuracy ratio improves as theta moves from the
+conventional balanced 1:1 towards the data's true imbalance (~1:100,000 on
+their traces, about 1:1,000 on these scaled-down graphs), by up to a factor
+of 5.  Shape target: the best theta is never the balanced one by a clear
+margin, i.e. realistic sampling >= balanced sampling (within noise).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import write_result
+from repro.classify import ClassificationPredictor
+from repro.classify.sampling import true_imbalance
+
+THETAS = {"1:1": 1.0, "1:10": 1 / 10, "1:100": 1 / 100, "1:1000": 1 / 1000}
+
+
+def sweep_theta(instance, seeds=2):
+    out = {}
+    for label, theta in THETAS.items():
+        ratios = []
+        for seed in range(seeds):
+            # Raw features (log_features=False): the paper-faithful
+            # configuration whose accuracy actually depends on theta.  The
+            # library's default log-transformed features largely remove the
+            # imbalance sensitivity — measured in this bench's second test.
+            predictor = ClassificationPredictor(
+                "SVM", theta=theta, seed=seed, log_features=False
+            )
+            ratios.append(predictor.evaluate_instance(instance, rng=seed).ratio)
+        out[label] = float(np.mean(ratios))
+    return out
+
+
+def test_fig10_undersampling_sweep(networks, classification_instances, benchmark):
+    results = benchmark.pedantic(
+        lambda: {
+            name: sweep_theta(classification_instances[name][1])
+            for name in ("facebook", "youtube")
+        },
+        rounds=1,
+        iterations=1,
+    )
+    lines = [f"{'network':10s} " + " ".join(f"{t:>9s}" for t in THETAS)]
+    for name, row in results.items():
+        lines.append(
+            f"{name:10s} " + " ".join(f"{row[t]:9.2f}" for t in THETAS)
+        )
+    imbalance = true_imbalance(
+        classification_instances["facebook"][1].train_view,
+        classification_instances["facebook"][1].label_view,
+    )
+    lines.append(f"facebook true imbalance ~= 1:{round(1 / imbalance)}")
+    write_result("fig10_undersampling", "\n".join(lines))
+
+    for name, row in results.items():
+        best_label = max(row, key=row.get)
+        # The balanced 1:1 configuration never wins by a clear margin.
+        assert row[best_label] >= row["1:1"], (name, row)
+        if best_label == "1:1":
+            others = max(v for k, v in row.items() if k != "1:1")
+            assert row["1:1"] <= 1.5 * others, (name, row)
+
+
+def test_fig10_log_features_reduce_theta_sensitivity(
+    classification_instances, benchmark
+):
+    """Ablation insight: Fig. 10's imbalance sensitivity is a raw-feature
+    phenomenon.  With the library's log-transformed features the SVM's
+    accuracy becomes much flatter across theta."""
+    instance = classification_instances["facebook"][1]
+
+    def spreads():
+        out = {}
+        for label, log_features in (("raw", False), ("log", True)):
+            values = []
+            for theta in (1.0, 1 / 100):
+                ratios = [
+                    ClassificationPredictor(
+                        "SVM", theta=theta, seed=seed, log_features=log_features
+                    )
+                    .evaluate_instance(instance, rng=seed)
+                    .ratio
+                    for seed in range(2)
+                ]
+                values.append(float(np.mean(ratios)))
+            low = min(values)
+            out[label] = max(values) / low if low > 0 else float("inf")
+        return out
+
+    result = benchmark.pedantic(spreads, rounds=1, iterations=1)
+    write_result(
+        "fig10_log_feature_sensitivity",
+        f"theta spread (1:100 over 1:1): raw={result['raw']:.2f}x "
+        f"log={result['log']:.2f}x",
+    )
+    assert result["raw"] >= result["log"] * 0.8, result

@@ -1,0 +1,64 @@
+"""Figure 12: relationship between top similarity metrics and top SVM
+features — cumulative normalised |coefficient| of the top-N metrics.
+
+Shape targets from the paper:
+- the cumulative coefficient mass is monotonically increasing in N and
+  reaches 1 at N = 14;
+- top-ranked similarity metrics carry at least their proportional share of
+  the SVM's coefficient mass on the friendship networks ("top similarity
+  metrics are also top features in SVM").
+"""
+
+import numpy as np
+
+from benchmarks.conftest import write_result
+from repro.classify import ClassificationPredictor
+from repro.eval.experiment import evaluate_step
+from repro.metrics import CLASSIFIER_FEATURES
+from repro.metrics.candidates import all_nonedge_pairs
+
+
+def cumulative_weights(instance, seed=0):
+    predictor = ClassificationPredictor("SVM", theta=1 / 100, seed=seed)
+    predictor.train(instance.train_view, instance.label_view)
+    weights = predictor.feature_weights()
+    # Rank the features by their standalone metric accuracy on this instance.
+    candidates = all_nonedge_pairs(instance.test_view)
+    standalone = {}
+    for j, metric in enumerate(CLASSIFIER_FEATURES):
+        standalone[j] = evaluate_step(
+            metric, instance.test_view, instance.truth, rng=0, candidates=candidates
+        ).ratio
+    order = sorted(standalone, key=standalone.get, reverse=True)
+    return np.cumsum(weights[order]), [CLASSIFIER_FEATURES[j] for j in order]
+
+
+def test_fig12_cumulative_coefficients(classification_instances, benchmark):
+    cumulative, ranking = benchmark.pedantic(
+        lambda: cumulative_weights(classification_instances["facebook"][1]),
+        rounds=1,
+        iterations=1,
+    )
+    lines = ["metric ranking (by standalone accuracy): " + " ".join(ranking)]
+    lines.append(
+        "cumulative SVM |coef| of top-N: "
+        + " ".join(f"{v:.3f}" for v in cumulative)
+    )
+    write_result("fig12_svm_feature_weights", "\n".join(lines))
+
+    assert (np.diff(cumulative) >= -1e-12).all()
+    assert cumulative[-1] == np.float64(1.0) or abs(cumulative[-1] - 1.0) < 1e-9
+    # The top-6 metrics together hold a nontrivial share of the weight
+    # (Fig. 12: "top 6 similarity metrics have a slightly higher weight").
+    assert cumulative[5] > 6 / len(CLASSIFIER_FEATURES) * 0.5
+
+
+def test_fig12_weights_well_formed(classification_instances, benchmark):
+    benchmark(lambda: None)  # keep this shape test active under --benchmark-only
+    predictor = ClassificationPredictor("SVM", theta=1 / 50, seed=0)
+    inst = classification_instances["youtube"][1]
+    predictor.train(inst.train_view, inst.label_view)
+    weights = predictor.feature_weights()
+    assert weights.shape == (len(CLASSIFIER_FEATURES),)
+    assert weights.sum() == np.float64(1.0) or abs(weights.sum() - 1.0) < 1e-9
+    assert (weights >= 0).all()

@@ -1,0 +1,98 @@
+"""Figures 13-15: temporal separation of positive vs negative node pairs.
+
+For one snapshot of each network this bench compares, between the pairs
+that connect next (positive) and those that do not (negative):
+
+- Fig. 13 — idle time of the active node (positives much fresher);
+- Fig. 14 — edges created by the active node in the recent window
+  (positives more active);
+- Fig. 15 — CN time gap (positives gained a common neighbour recently).
+
+These separations are the empirical basis of the temporal filters.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import write_result
+from repro.metrics.candidates import two_hop_pairs
+from repro.temporal import pair_activity
+from repro.temporal.calibrate import positive_negative_pairs
+
+
+def separation(data, window=None):
+    prev, _, truth = data.steps[-1]
+    candidates = two_hop_pairs(prev)
+    positives, negatives = positive_negative_pairs(
+        prev, truth, candidates, negative_sample=3000, rng=0
+    )
+    if window is None:
+        window = max(1.0, (prev.time - prev.trace.start_time) / 10.0)
+    pos = pair_activity(prev, positives, window=window)
+    neg = pair_activity(prev, negatives, window=window)
+    return pos, neg, len(positives)
+
+
+def test_fig13_active_idle_separation(networks, benchmark):
+    results = benchmark.pedantic(
+        lambda: {name: separation(d) for name, d in networks.items()},
+        rounds=1,
+        iterations=1,
+    )
+    lines = []
+    ok = 0
+    for name, (pos, neg, n_pos) in results.items():
+        p50_pos = float(np.median(pos.active_idle))
+        p50_neg = float(np.median(neg.active_idle))
+        lines.append(
+            f"{name:10s} active idle median: positive={p50_pos:.2f}d "
+            f"negative={p50_neg:.2f}d (n_pos={n_pos})"
+        )
+        if p50_pos <= p50_neg:
+            ok += 1
+    write_result("fig13_active_idle", "\n".join(lines))
+    assert ok == len(results), lines
+
+
+def test_fig14_recent_edges_separation(networks, benchmark):
+    results = benchmark.pedantic(
+        lambda: {name: separation(d) for name, d in networks.items()},
+        rounds=1,
+        iterations=1,
+    )
+    lines = []
+    ok = 0
+    for name, (pos, neg, _) in results.items():
+        mean_pos = float(np.mean(pos.recent_edges))
+        mean_neg = float(np.mean(neg.recent_edges))
+        lines.append(
+            f"{name:10s} recent edges of active node: positive={mean_pos:.2f} "
+            f"negative={mean_neg:.2f}"
+        )
+        if mean_pos >= mean_neg:
+            ok += 1
+    write_result("fig14_recent_edges", "\n".join(lines))
+    assert ok == len(results), lines
+
+
+def test_fig15_cn_gap_separation(networks, benchmark):
+    results = benchmark.pedantic(
+        lambda: {name: separation(d) for name, d in networks.items()},
+        rounds=1,
+        iterations=1,
+    )
+    lines = []
+    ok = 0
+    for name, (pos, neg, _) in results.items():
+        pos_gap = pos.cn_gap[np.isfinite(pos.cn_gap)]
+        neg_gap = neg.cn_gap[np.isfinite(neg.cn_gap)]
+        if len(pos_gap) == 0 or len(neg_gap) == 0:
+            continue
+        p50_pos, p50_neg = float(np.median(pos_gap)), float(np.median(neg_gap))
+        lines.append(
+            f"{name:10s} CN time gap median: positive={p50_pos:.2f}d "
+            f"negative={p50_neg:.2f}d"
+        )
+        if p50_pos <= p50_neg:
+            ok += 1
+    write_result("fig15_cn_gap", "\n".join(lines))
+    assert ok >= 2, lines  # the friendship networks must show it clearly

@@ -1,0 +1,52 @@
+"""Figure 1: daily new nodes and edges in the three networks.
+
+The paper's traces all grow exponentially; the bench regenerates the daily
+new-node / new-edge series and checks exponential shape (later intervals
+add more than earlier ones) plus the Renren > Facebook growth-rate
+ordering.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import write_result
+
+
+def daily_series(trace, buckets=10):
+    """New nodes and edges per time bucket over the trace span."""
+    span = trace.end_time - trace.start_time
+    edges_t = np.asarray([t for _, _, t in trace.edges()])
+    arrivals = np.asarray(
+        [trace.node_arrival_time(u) for u in trace.nodes()]
+    )
+    bins = np.linspace(trace.start_time, trace.end_time + 1e-9, buckets + 1)
+    new_edges, _ = np.histogram(edges_t, bins=bins)
+    new_nodes, _ = np.histogram(arrivals, bins=bins)
+    rate = span / buckets
+    return new_nodes / rate, new_edges / rate  # per-day rates
+
+
+def test_fig1_growth_series(networks, benchmark):
+    series = benchmark(
+        lambda: {name: daily_series(d.trace) for name, d in networks.items()}
+    )
+    lines = ["network    bucket-rates (edges/day)"]
+    for name, (nodes, edges) in series.items():
+        formatted = " ".join(f"{e:8.1f}" for e in edges)
+        lines.append(f"{name:10s} {formatted}")
+    write_result("fig1_growth", "\n".join(lines))
+
+    for name, (nodes, edges) in series.items():
+        # Exponential growth: the last quarter outpaces the first quarter.
+        assert edges[-2:].mean() > edges[:2].mean(), name
+        assert nodes[-2:].mean() >= nodes[:2].mean() * 0.5, name
+
+
+def test_fig1_renren_fastest(networks, benchmark):
+    def peak_rates():
+        return {
+            name: daily_series(d.trace)[1].max() for name, d in networks.items()
+        }
+
+    rates = benchmark(peak_rates)
+    # Renren is the fastest-growing network in the paper's Figure 1.
+    assert rates["renren"] > rates["facebook"]

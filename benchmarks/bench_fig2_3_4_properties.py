@@ -1,0 +1,67 @@
+"""Figures 2-4: average degree, average path length, clustering coefficient
+over each network's evolution.
+
+Shape targets from the paper:
+- average degree grows over time on every network (densification, Fig. 2);
+- Renren and Facebook are much denser than YouTube;
+- YouTube has the largest average path length (Fig. 3);
+- path length shrinks (or at least does not grow) as networks densify.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import write_result
+from repro.graph import stats
+
+
+def evolution(data, samples=5):
+    idx = np.linspace(0, len(data.snapshots) - 1, samples, dtype=int)
+    rows = []
+    for i in idx:
+        s = data.snapshots[int(i)]
+        rows.append(
+            (
+                s.num_edges,
+                stats.average_degree(s),
+                stats.average_path_length(s, sample_size=40, seed=0),
+                stats.average_clustering(s, sample_size=300, seed=0),
+            )
+        )
+    return rows
+
+
+def test_fig2_3_4_property_evolution(networks, benchmark):
+    evo = benchmark.pedantic(
+        lambda: {name: evolution(d) for name, d in networks.items()},
+        rounds=1,
+        iterations=1,
+    )
+    lines = [f"{'network':10s} {'edges':>8s} {'avg_deg':>8s} {'apl':>6s} {'clust':>6s}"]
+    for name, rows in evo.items():
+        for edges, deg, apl, clust in rows:
+            lines.append(
+                f"{name:10s} {edges:8d} {deg:8.2f} {apl:6.2f} {clust:6.3f}"
+            )
+    write_result("fig2_3_4_properties", "\n".join(lines))
+
+    for name, rows in evo.items():
+        degrees = [r[1] for r in rows]
+        assert degrees[-1] > degrees[0], f"{name}: average degree must grow (Fig. 2)"
+
+    final = {name: rows[-1] for name, rows in evo.items()}
+    # Density ordering: Renren > Facebook > YouTube (Fig. 2).
+    assert final["renren"][1] > final["facebook"][1] > final["youtube"][1]
+    # YouTube has the largest path length (Fig. 3).
+    assert final["youtube"][2] >= max(final["facebook"][2], final["renren"][2])
+
+
+def test_fig4_friendship_clusters_more(networks, benchmark):
+    def final_clustering():
+        return {
+            name: stats.average_clustering(d.snapshots[-1], sample_size=300, seed=0)
+            for name, d in networks.items()
+        }
+
+    clust = benchmark.pedantic(final_clustering, rounds=1, iterations=1)
+    assert clust["facebook"] > clust["youtube"]
+    assert clust["renren"] > clust["youtube"]

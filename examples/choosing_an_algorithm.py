@@ -1,0 +1,75 @@
+"""Choosing a link prediction algorithm from network structure (Section 4.3).
+
+Evaluates a panel of metrics on snapshots of all three synthetic networks,
+then trains the paper's meta-classifiers:
+
+- a multi-class decision tree that names the winning algorithm given a
+  snapshot's structural features (Fig. 6), and
+- per-algorithm binary trees answering "when is this algorithm within 90%
+  of the best?".
+
+Run with:  python examples/choosing_an_algorithm.py
+"""
+
+import numpy as np
+
+from repro import datasets, snapshot_sequence
+from repro.eval.experiment import evaluate_step, prediction_steps
+from repro.eval.meta import (
+    FEATURE_NAMES,
+    SnapshotRecord,
+    fit_choice_tree,
+    suitability_rules,
+)
+from repro.graph.stats import graph_features
+
+METRICS = ("RA", "BRA", "Rescal", "PA", "JC")
+NETWORKS = {
+    "facebook": datasets.facebook_like,
+    "renren": datasets.renren_like,
+    "youtube": datasets.youtube_like,
+}
+
+
+def main() -> None:
+    records = []
+    for name, factory in NETWORKS.items():
+        trace = factory(scale=0.4, seed=17)
+        snapshots = snapshot_sequence(
+            trace, trace.num_edges // 10, start=trace.num_edges // 3
+        )
+        steps = list(prediction_steps(snapshots))
+        picked = np.linspace(0, len(steps) - 1, 4, dtype=int)
+        for i in picked:
+            prev, _, truth = steps[int(i)]
+            ratios = {
+                m: np.mean(
+                    [evaluate_step(m, prev, truth, rng=s).ratio for s in range(2)]
+                )
+                for m in METRICS
+            }
+            records.append(
+                SnapshotRecord(
+                    network=name,
+                    features=graph_features(
+                        prev, clustering_sample=200, path_sample=25, seed=0
+                    ),
+                    ratios=ratios,
+                )
+            )
+        winners = [r.winner for r in records if r.network == name]
+        print(f"{name:10s} winners per snapshot: {winners}")
+
+    print("\n== Fig. 6 style choice tree ==")
+    tree, class_names = fit_choice_tree(records, max_depth=3)
+    print(tree.export_text(list(FEATURE_NAMES), class_names))
+
+    print("\n== per-algorithm suitability rules (within 90% of best) ==")
+    rules = suitability_rules(records, METRICS)
+    for algorithm, text in rules.items():
+        print(f"-- {algorithm} --")
+        print(text)
+
+
+if __name__ == "__main__":
+    main()

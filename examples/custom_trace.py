@@ -1,0 +1,53 @@
+"""Bring your own trace: evaluate predictors on an external edge stream.
+
+Any timestamped edge list (``u v t`` per line — e.g. a SNAP temporal graph)
+can drive the full pipeline.  This example writes a trace to disk, reads it
+back, and runs the sequence evaluation plus a weighted-metric extension on
+it — the complete path an external dataset would take.
+
+Run with:  python examples/custom_trace.py
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro import LinkPredictor, datasets, snapshot_sequence
+from repro.eval.experiment import evaluate_step, prediction_steps
+from repro.extensions.weighted import WeightedResourceAllocation, synthesize_weights
+from repro.graph.io import read_trace, write_trace
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "my_network.txt"
+
+        # Stand-in for an external dataset: serialise one of the presets.
+        write_trace(datasets.facebook_like(scale=0.4, seed=3), path)
+        print(f"trace file: {path} ({path.stat().st_size} bytes)")
+
+        trace = read_trace(path)
+        print(f"loaded: {trace}")
+
+        delta = trace.num_edges // 15
+        result = LinkPredictor(metric="BRA", seed=0).evaluate_sequence(trace, delta)
+        print()
+        print(result.summary())
+
+        # Extensions work on external traces too: synthesise tie strengths
+        # and run the weighted RA variant on the last prediction step.
+        snaps = snapshot_sequence(trace, delta, start=trace.num_edges // 3)
+        prev, _, truth = list(prediction_steps(snaps))[-1]
+        weights = synthesize_weights(prev, seed=0)
+        ratios = [
+            evaluate_step(
+                WeightedResourceAllocation(weights, alpha=0.5), prev, truth, rng=s
+            ).ratio
+            for s in range(3)
+        ]
+        print(f"\nWRA (alpha=0.5) on the last step: {np.mean(ratios):.2f}x random")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Link prediction on a subscription network (the paper's YouTube scenario).
+
+Subscription graphs look nothing like friendship graphs: negative degree
+assortativity, supernode creators, most users with a handful of edges.
+This example shows how that structure flips the metric ranking — latent-
+factor RESCAL shines while Jaccard / shortest-path collapse — and inspects
+RESCAL's latent node weights to see the supernode concentration the paper
+describes in Section 4.2.
+
+Run with:  python examples/subscription_network.py
+"""
+
+import numpy as np
+
+from repro import datasets, snapshot_sequence
+from repro.eval.experiment import evaluate_step, prediction_steps
+from repro.graph import stats
+from repro.metrics.base import get_metric
+
+METRICS = ("Rescal", "BRA", "PA", "JC", "SP")
+
+
+def main() -> None:
+    trace = datasets.youtube_like(scale=0.6, seed=9)
+    snapshots = snapshot_sequence(
+        trace, trace.num_edges // 15, start=trace.num_edges // 3
+    )
+    last = snapshots[-1]
+    print(f"subscription trace: {trace}")
+    print(
+        f"assortativity = {stats.degree_assortativity(last):+.3f} "
+        f"(negative: subscribers attach to supernodes)"
+    )
+    degrees = last.degree_array()
+    print(
+        f"degree <= 3 for {100 * np.mean(degrees <= 3):.0f}% of nodes; "
+        f"max degree {int(degrees.max())} vs mean {degrees.mean():.1f}\n"
+    )
+
+    # --- metric shoot-out --------------------------------------------------
+    steps = list(prediction_steps(snapshots))
+    print("mean accuracy ratio over the sequence:")
+    for metric in METRICS:
+        ratios = [
+            evaluate_step(metric, prev, truth, rng=i).ratio
+            for i, (prev, _, truth) in enumerate(steps)
+        ]
+        print(f"  {metric:7s} {np.mean(ratios):8.2f}x random")
+
+    # --- RESCAL's latent view ----------------------------------------------
+    rescal = get_metric("Rescal", rank=16).fit(last)
+    weights = rescal.node_weights()
+    order = np.argsort(-degrees)
+    top = order[: max(1, len(order) // 100)]
+    print(
+        f"\nRESCAL latent weight, top-1% degree nodes vs median: "
+        f"{weights[top].mean():.3f} vs {np.median(weights):.3f}"
+    )
+    print("(supernodes dominate the latent space, which is why RESCAL")
+    print(" captures the negative assortativity best — Section 4.2)")
+
+
+if __name__ == "__main__":
+    main()

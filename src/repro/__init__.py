@@ -1,0 +1,57 @@
+"""repro — reproduction of "Network Growth and Link Prediction Through an
+Empirical Lens" (IMC 2016).
+
+The package implements, from scratch, every system the paper's evaluation
+depends on:
+
+- a temporal graph substrate with constant-edge-delta snapshot sequencing
+  (:mod:`repro.graph`),
+- synthetic trace generators standing in for the Facebook / Renren / YouTube
+  traces (:mod:`repro.generators`),
+- all 14 metric-based link predictors of Table 3 (:mod:`repro.metrics`),
+- a small machine-learning library replacing scikit-learn: linear SVM,
+  logistic regression, Gaussian naive Bayes, CART trees and random forests
+  (:mod:`repro.ml`),
+- classification-based link prediction with snowball sampling and
+  undersampling (:mod:`repro.classify`),
+- temporal activity analysis, the paper's temporal filters, and the
+  time-series baseline they are compared against (:mod:`repro.temporal`),
+- the sequence-based evaluation framework producing accuracy ratios
+  (:mod:`repro.eval`),
+- a high-level facade (:mod:`repro.core`).
+
+Quickstart::
+
+    from repro import datasets, LinkPredictor
+
+    trace = datasets.facebook_like(seed=7)
+    predictor = LinkPredictor(metric="RA")
+    result = predictor.evaluate_sequence(trace, delta=400)
+    print(result.summary())
+"""
+
+from repro.core.api import (
+    LinkPredictor,
+    SequenceResult,
+    SnapshotResult,
+    available_classifiers,
+    available_metrics,
+)
+from repro.generators import presets as datasets
+from repro.graph.dyngraph import TemporalGraph
+from repro.graph.snapshots import Snapshot, snapshot_sequence
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "LinkPredictor",
+    "SequenceResult",
+    "SnapshotResult",
+    "Snapshot",
+    "TemporalGraph",
+    "available_classifiers",
+    "available_metrics",
+    "datasets",
+    "snapshot_sequence",
+    "__version__",
+]

@@ -1,0 +1,191 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+generate   write a synthetic trace to a file (``u v t`` per line)
+evaluate   run one predictor over a trace's snapshot sequence
+compare    rank several metrics on one trace
+suggest    print top-k link recommendations for the latest snapshot
+
+Examples
+--------
+    python -m repro generate --dataset facebook --out fb.txt
+    python -m repro evaluate --trace fb.txt --metric RA --delta 260
+    python -m repro compare --dataset youtube --metrics Rescal,BRA,PA,JC
+    python -m repro suggest --dataset facebook --metric RA -k 10
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.core.api import LinkPredictor, available_metrics
+from repro.generators import presets
+from repro.graph.io import read_trace, write_trace
+from repro.graph.snapshots import snapshot_sequence
+
+
+def _load_trace(args):
+    """Trace from --trace file or --dataset preset."""
+    if args.trace:
+        return read_trace(args.trace)
+    return presets.load(args.dataset, scale=args.scale, seed=args.seed)
+
+
+def _default_delta(args, trace) -> int:
+    if args.delta:
+        return args.delta
+    if args.trace is None:
+        return presets.snapshot_delta(args.dataset, args.scale)
+    return max(10, trace.num_edges // 20)
+
+
+def _add_trace_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--trace", help="path to a 'u v t' edge-stream file")
+    parser.add_argument(
+        "--dataset",
+        default="facebook",
+        choices=sorted(presets.DATASETS),
+        help="synthetic preset to use when --trace is not given",
+    )
+    parser.add_argument("--scale", type=float, default=0.5, help="preset size multiplier")
+    parser.add_argument("--seed", type=int, default=0, help="generation / tie-break seed")
+    parser.add_argument("--delta", type=int, help="snapshot delta (new edges per snapshot)")
+
+
+def cmd_generate(args) -> int:
+    trace = presets.load(args.dataset, scale=args.scale, seed=args.seed)
+    write_trace(trace, args.out)
+    print(f"wrote {trace} to {args.out}")
+    return 0
+
+
+def cmd_evaluate(args) -> int:
+    trace = _load_trace(args)
+    predictor = LinkPredictor(metric=args.metric, seed=args.seed)
+    result = predictor.evaluate_sequence(trace, delta=_default_delta(args, trace))
+    print(result.summary())
+    if args.verbose:
+        for step in result.steps:
+            print(
+                f"  step {step.step:3d}  k={step.k:5d}  hits={step.hits:4d}  "
+                f"ratio={step.ratio:9.2f}  absolute={100 * step.absolute:6.2f}%"
+            )
+    return 0
+
+
+def cmd_compare(args) -> int:
+    trace = _load_trace(args)
+    delta = _default_delta(args, trace)
+    names = args.metrics.split(",")
+    unknown = [n for n in names if n not in available_metrics()]
+    if unknown:
+        print(f"unknown metrics: {unknown}; available: {available_metrics()}")
+        return 2
+    rows = []
+    for name in names:
+        predictor = LinkPredictor(metric=name, seed=args.seed)
+        result = predictor.evaluate_sequence(trace, delta=delta)
+        rows.append((name, result.mean_ratio, result.best_absolute))
+    rows.sort(key=lambda r: -r[1])
+    print(f"{'metric':10s} {'mean ratio':>12s} {'best abs':>10s}")
+    for name, ratio, absolute in rows:
+        print(f"{name:10s} {ratio:12.2f} {100 * absolute:9.2f}%")
+    return 0
+
+
+def cmd_report(args) -> int:
+    from repro.core.report import build_report
+
+    trace = _load_trace(args)
+    name = args.trace or args.dataset
+    report = build_report(
+        trace, delta=args.delta, seed=args.seed, name=str(name)
+    )
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(report + "\n")
+        print(f"wrote report to {args.out}")
+    else:
+        print(report)
+    return 0
+
+
+def cmd_experiment(args) -> int:
+    from repro.eval.runner import ExperimentSpec, run_experiment
+
+    spec = ExperimentSpec.load(args.spec)
+    result = run_experiment(spec)
+    print(f"experiment: {spec.name} ({result.steps_evaluated} steps)")
+    print(result.summary_table())
+    if args.out:
+        result.save(args.out)
+        print(f"full results written to {args.out}")
+    return 0
+
+
+def cmd_suggest(args) -> int:
+    trace = _load_trace(args)
+    delta = _default_delta(args, trace)
+    latest = snapshot_sequence(trace, delta)[-1]
+    predictor = LinkPredictor(metric=args.metric, seed=args.seed)
+    for u, v in predictor.suggest(latest, args.k):
+        print(f"{u} {v}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Link prediction experiments (IMC 2016 reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("generate", help="write a synthetic trace to a file")
+    p.add_argument("--dataset", default="facebook", choices=sorted(presets.DATASETS))
+    p.add_argument("--scale", type=float, default=0.5)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", required=True, help="output path")
+    p.set_defaults(func=cmd_generate)
+
+    p = sub.add_parser("evaluate", help="run one predictor over a trace")
+    _add_trace_arguments(p)
+    p.add_argument("--metric", default="RA", choices=available_metrics())
+    p.add_argument("-v", "--verbose", action="store_true")
+    p.set_defaults(func=cmd_evaluate)
+
+    p = sub.add_parser("compare", help="rank several metrics on one trace")
+    _add_trace_arguments(p)
+    p.add_argument(
+        "--metrics", default="RA,BRA,JC,PA,SP", help="comma-separated metric names"
+    )
+    p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser("suggest", help="top-k recommendations for the latest snapshot")
+    _add_trace_arguments(p)
+    p.add_argument("--metric", default="RA", choices=available_metrics())
+    p.add_argument("-k", type=int, default=10)
+    p.set_defaults(func=cmd_suggest)
+
+    p = sub.add_parser("report", help="markdown predictability report for a trace")
+    _add_trace_arguments(p)
+    p.add_argument("--out", help="write the report to a file instead of stdout")
+    p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser("experiment", help="run a JSON experiment spec")
+    p.add_argument("--spec", required=True, help="path to an ExperimentSpec JSON file")
+    p.add_argument("--out", help="write the full result JSON here")
+    p.set_defaults(func=cmd_experiment)
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

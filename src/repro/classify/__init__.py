@@ -1,0 +1,28 @@
+"""Classification-based link prediction (Section 5).
+
+The pipeline trains a binary classifier on the transition
+``G_{t-2} -> G_{t-1}`` (features computed on ``G_{t-2}``, labels = connected
+in ``G_{t-1}``) and predicts the transition ``G_{t-1} -> G_t``.  Scaling
+measures from the paper are built in: snowball sampling of the node
+population (Section 5.1) and undersampling of the negative class at a ratio
+theta (Section 5.2).
+"""
+
+from repro.classify.features import FeatureExtractor
+from repro.classify.predictor import ClassificationPredictor, sampled_instance
+from repro.classify.sampling import labeled_pairs, undersample, undersample_indices
+from repro.classify.sequence import (
+    compare_classifiers_on_sequence,
+    evaluate_classifier_sequence,
+)
+
+__all__ = [
+    "FeatureExtractor",
+    "ClassificationPredictor",
+    "sampled_instance",
+    "labeled_pairs",
+    "undersample",
+    "undersample_indices",
+    "evaluate_classifier_sequence",
+    "compare_classifiers_on_sequence",
+]

@@ -1,0 +1,19 @@
+"""Public high-level API (facade)."""
+
+from repro.core.api import (
+    ClassificationPredictor,
+    LinkPredictor,
+    SequenceResult,
+    SnapshotResult,
+    available_classifiers,
+    available_metrics,
+)
+
+__all__ = [
+    "ClassificationPredictor",
+    "LinkPredictor",
+    "SequenceResult",
+    "SnapshotResult",
+    "available_classifiers",
+    "available_metrics",
+]

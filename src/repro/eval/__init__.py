@@ -1,0 +1,34 @@
+"""Sequence-based evaluation framework (Section 3.2, Section 4.1).
+
+Prediction runs over consecutive snapshot pairs: score candidates on
+``G_{t-1}``, take the top-k (k = ground-truth new-edge count), and compare
+against the edges that actually appeared in ``G_t``.  Accuracy is reported
+both in absolute terms and as the *accuracy ratio* — the improvement factor
+over uniform-random prediction [23].
+"""
+
+from repro.eval.accuracy import (
+    StepOutcome,
+    absolute_accuracy,
+    accuracy_ratio,
+    expected_random_hits,
+)
+from repro.eval.experiment import (
+    MetricStepResult,
+    evaluate_metric_sequence,
+    evaluate_step,
+    prediction_steps,
+)
+from repro.eval.ranking import top_k_pairs
+
+__all__ = [
+    "StepOutcome",
+    "absolute_accuracy",
+    "accuracy_ratio",
+    "expected_random_hits",
+    "MetricStepResult",
+    "evaluate_metric_sequence",
+    "evaluate_step",
+    "prediction_steps",
+    "top_k_pairs",
+]

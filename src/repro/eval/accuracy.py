@@ -1,0 +1,84 @@
+"""Accuracy accounting: absolute accuracy and the accuracy ratio.
+
+Given top-k predictions ``P`` and ground truth ``T`` (with ``k = |T|``):
+
+- absolute accuracy  = ``|P ∩ T| / k``  (Table 4's numbers),
+- expected random hits = ``k * |T| / M`` where ``M`` is the number of
+  unconnected pairs — the expected overlap of a uniform-random k-subset,
+- accuracy ratio     = ``|P ∩ T| / expected_random_hits`` — the improvement
+  factor over random prediction used throughout the paper [23].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graph.snapshots import Snapshot
+from repro.metrics.candidates import num_nonedge_pairs
+from repro.utils.pairs import Pair
+
+
+def expected_random_hits(snapshot: Snapshot, k: int, truth_size: "int | None" = None) -> float:
+    """Expected correct predictions of the uniform-random baseline.
+
+    A random predictor draws ``k`` distinct pairs from the ``M`` unconnected
+    pairs of ``snapshot``; each of the ``truth_size`` true pairs is included
+    with probability ``k / M``.
+    """
+    if k < 0:
+        raise ValueError(f"k must be non-negative, got {k}")
+    if truth_size is None:
+        truth_size = k
+    m = num_nonedge_pairs(snapshot)
+    if m <= 0:
+        return 0.0
+    return k * truth_size / m
+
+
+def absolute_accuracy(hits: int, k: int) -> float:
+    """``|P ∩ T| / k`` — the paper's "absolute accuracy" (Table 4)."""
+    if k <= 0:
+        return 0.0
+    return hits / k
+
+
+def accuracy_ratio(hits: int, expected: float) -> float:
+    """Improvement factor over random; infinite expectations cannot occur
+    for non-degenerate snapshots, but a zero expectation yields 0 by
+    convention (no random baseline to beat)."""
+    if expected <= 0:
+        return 0.0
+    return hits / expected
+
+
+@dataclass
+class StepOutcome:
+    """Scoreboard for one prediction step."""
+
+    k: int
+    hits: int
+    expected_random: float
+    #: which predicted pairs were correct (subset of the prediction)
+    correct: "set[Pair]"
+
+    @property
+    def absolute(self) -> float:
+        return absolute_accuracy(self.hits, self.k)
+
+    @property
+    def ratio(self) -> float:
+        return accuracy_ratio(self.hits, self.expected_random)
+
+
+def score_prediction(
+    snapshot: Snapshot, predicted: "set[Pair]", truth: "set[Pair]"
+) -> StepOutcome:
+    """Compare a prediction set against ground truth on one step."""
+    correct = predicted & truth
+    k = len(truth)
+    return StepOutcome(
+        k=k,
+        hits=len(correct),
+        expected_random=expected_random_hits(snapshot, len(predicted), k),
+        correct=correct,
+    )

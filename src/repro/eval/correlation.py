@@ -1,0 +1,67 @@
+"""The 2-hop edge ratio lambda_2 and its correlation with accuracy.
+
+Section 4.2 explains why most metrics' accuracy ratio tracks network
+densification: their predictions are dominated by 2-hop pairs, so accuracy
+follows ``lambda_2`` — the fraction of 2-hop pairs of ``G_{t-1}`` that
+close in ``G_t`` (Pearson 0.95 / 0.83 / 0.81 on Renren / YouTube /
+Facebook).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.graph.snapshots import Snapshot
+from repro.metrics.candidates import two_hop_pairs
+from repro.utils.pairs import Pair
+
+
+def two_hop_edge_ratio(previous: Snapshot, truth: "set[Pair]") -> float:
+    """``lambda_2``: share of 2-hop pairs of ``previous`` present in truth."""
+    pairs = two_hop_pairs(previous)
+    if len(pairs) == 0:
+        return 0.0
+    hits = sum(1 for u, v in pairs if (int(u), int(v)) in truth)
+    return hits / len(pairs)
+
+
+def pearson(x: Sequence[float], y: Sequence[float]) -> float:
+    """Plain Pearson correlation coefficient."""
+    x_arr = np.asarray(x, dtype=np.float64)
+    y_arr = np.asarray(y, dtype=np.float64)
+    if x_arr.shape != y_arr.shape:
+        raise ValueError("series must have equal length")
+    if len(x_arr) < 2:
+        raise ValueError("correlation requires at least two points")
+    sx, sy = x_arr.std(), y_arr.std()
+    if sx == 0 or sy == 0:
+        return 0.0
+    return float(((x_arr - x_arr.mean()) * (y_arr - y_arr.mean())).mean() / (sx * sy))
+
+
+def lambda2_correlations(
+    lambda2_series: Sequence[float],
+    ratio_series_by_metric: "dict[str, Sequence[float]]",
+    top_n: int = 6,
+) -> tuple[float, dict[str, float]]:
+    """Average Pearson correlation of the top-N metrics against lambda_2.
+
+    Metrics are ranked by their mean accuracy ratio over the sequence
+    (the paper correlates "the top-performing 6 metrics for each graph").
+    Returns ``(average_over_top_n, per_metric_correlations)``.
+    """
+    if top_n < 1:
+        raise ValueError("top_n must be >= 1")
+    per_metric = {
+        name: pearson(lambda2_series, series)
+        for name, series in ratio_series_by_metric.items()
+    }
+    ranked = sorted(
+        ratio_series_by_metric,
+        key=lambda name: -float(np.mean(ratio_series_by_metric[name])),
+    )
+    top = ranked[:top_n]
+    average = float(np.mean([per_metric[name] for name in top]))
+    return average, per_metric

@@ -1,0 +1,109 @@
+"""Choosing metric-based algorithms from network structure (Section 4.3).
+
+Two classifiers are trained over per-snapshot network features
+(:class:`~repro.graph.stats.GraphFeatures`):
+
+- a *multi-class* decision tree whose label is the winning algorithm on
+  that snapshot (Fig. 6), and
+- per-algorithm *binary* trees answering "is this algorithm within 90% of
+  the optimum here?", whose exported rules give the paper's guidance
+  (Rescal for high degree heterogeneity, Katz for small networks,
+  BRA/RA for dense networks).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.stats import GraphFeatures
+from repro.ml.tree import DecisionTreeClassifier
+
+FEATURE_NAMES: tuple[str, ...] = GraphFeatures.__dataclass_fields__["FIELD_NAMES"].default
+
+
+@dataclass
+class SnapshotRecord:
+    """One data point: a snapshot's features plus every metric's ratio."""
+
+    network: str
+    features: GraphFeatures
+    ratios: Mapping[str, float]  # metric name -> accuracy ratio
+
+    @property
+    def winner(self) -> str:
+        return max(self.ratios, key=self.ratios.get)  # type: ignore[arg-type]
+
+
+def feature_matrix(records: Sequence[SnapshotRecord]) -> np.ndarray:
+    return np.vstack([r.features.as_array() for r in records])
+
+
+def fit_choice_tree(
+    records: Sequence[SnapshotRecord],
+    max_depth: int = 3,
+    seed: int = 0,
+) -> tuple[DecisionTreeClassifier, list[str]]:
+    """Fit the Fig. 6 multi-class tree.
+
+    Returns the tree and its class names (winning-algorithm labels); use
+    ``tree.export_text(FEATURE_NAMES, class_names)`` for the readable form.
+    """
+    if not records:
+        raise ValueError("no records to fit")
+    x = feature_matrix(records)
+    labels = [r.winner for r in records]
+    class_names = sorted(set(labels))
+    index = {name: i for i, name in enumerate(class_names)}
+    y = np.asarray([index[label] for label in labels])
+    tree = DecisionTreeClassifier(max_depth=max_depth, min_samples_leaf=2, seed=seed)
+    tree.fit(x, y)
+    return tree, class_names
+
+
+def fit_suitability_tree(
+    records: Sequence[SnapshotRecord],
+    algorithm: str,
+    good_fraction: float = 0.9,
+    max_depth: int = 2,
+    seed: int = 0,
+) -> "DecisionTreeClassifier | None":
+    """Fit one algorithm's binary "is it good here?" tree.
+
+    A snapshot is positive when the algorithm's ratio is within
+    ``good_fraction`` of the snapshot's best ratio.  Returns ``None`` when
+    the labels are one-sided (the paper likewise omits algorithms "for
+    which there are few or no positive results").
+    """
+    if not 0 < good_fraction <= 1:
+        raise ValueError(f"good_fraction must be in (0, 1], got {good_fraction}")
+    x = feature_matrix(records)
+    y = np.asarray(
+        [
+            1 if r.ratios[algorithm] >= good_fraction * max(r.ratios.values()) else 0
+            for r in records
+        ]
+    )
+    if len(np.unique(y)) < 2:
+        return None
+    tree = DecisionTreeClassifier(max_depth=max_depth, min_samples_leaf=2, seed=seed)
+    tree.fit(x, y)
+    return tree
+
+
+def suitability_rules(
+    records: Sequence[SnapshotRecord],
+    algorithms: Sequence[str],
+    good_fraction: float = 0.9,
+) -> dict[str, str]:
+    """Per-algorithm exported rules (the Section 4.3 bullet list)."""
+    rules = {}
+    for algorithm in algorithms:
+        tree = fit_suitability_tree(records, algorithm, good_fraction)
+        if tree is not None:
+            rules[algorithm] = tree.export_text(
+                feature_names=list(FEATURE_NAMES), class_names=["not-good", "good"]
+            )
+    return rules

@@ -1,0 +1,225 @@
+"""Declarative experiment runner with JSON persistence.
+
+A research pipeline needs runs that are *describable* (a spec you can
+commit), *repeatable* (seeds in the spec) and *storable* (results as
+JSON).  ``ExperimentSpec`` captures one metric-comparison experiment —
+dataset, sequencing, metric list, repeat seeds, optional temporal filter —
+and ``run_experiment`` executes it into an ``ExperimentResult`` that
+serialises losslessly.
+
+The CLI front-end is ``python -m repro experiment --spec spec.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass, field
+
+import numpy as np
+
+from repro.eval.experiment import evaluate_step, prediction_steps
+from repro.generators import presets
+from repro.graph.io import read_trace
+from repro.graph.snapshots import snapshot_sequence
+from repro.metrics.base import all_metric_names
+from repro.metrics.candidates import two_hop_pairs
+from repro.temporal import TemporalFilter, calibrate_filter
+
+
+@dataclass
+class ExperimentSpec:
+    """One experiment: dataset x sequencing x metrics x repeats."""
+
+    name: str = "experiment"
+    #: preset name ("facebook"/"renren"/"youtube") or a trace file path.
+    dataset: str = "facebook"
+    scale: float = 0.5
+    generation_seed: int = 0
+    delta: "int | None" = None
+    start: "int | None" = None
+    metrics: tuple[str, ...] = ("CN", "RA", "BRA", "PA")
+    #: evaluation repeated with tie-break seeds 0..repeats-1 per step.
+    repeats: int = 2
+    max_steps: "int | None" = None
+    #: calibrate and apply a temporal filter (Section 6) as well.
+    with_filter: bool = False
+
+    def validate(self) -> None:
+        unknown = [m for m in self.metrics if m not in all_metric_names()]
+        if unknown:
+            raise ValueError(f"unknown metrics in spec: {unknown}")
+        if self.repeats < 1:
+            raise ValueError("repeats must be >= 1")
+        if self.scale <= 0:
+            raise ValueError("scale must be positive")
+
+    # -- persistence ----------------------------------------------------
+    def to_json(self) -> str:
+        payload = asdict(self)
+        payload["metrics"] = list(self.metrics)
+        return json.dumps(payload, indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentSpec":
+        payload = json.loads(text)
+        payload["metrics"] = tuple(payload.get("metrics", ()))
+        spec = cls(**payload)
+        spec.validate()
+        return spec
+
+    @classmethod
+    def load(cls, path: "str | os.PathLike[str]") -> "ExperimentSpec":
+        with open(path, encoding="utf-8") as fh:
+            return cls.from_json(fh.read())
+
+
+@dataclass
+class MetricSeries:
+    """One metric's results over the evaluated steps (mean over repeats)."""
+
+    metric: str
+    ratios: list[float] = field(default_factory=list)
+    absolutes: list[float] = field(default_factory=list)
+    filtered_ratios: "list[float] | None" = None
+
+    @property
+    def mean_ratio(self) -> float:
+        return float(np.mean(self.ratios)) if self.ratios else 0.0
+
+    @property
+    def mean_filtered_ratio(self) -> "float | None":
+        if self.filtered_ratios is None:
+            return None
+        return float(np.mean(self.filtered_ratios))
+
+
+@dataclass
+class ExperimentResult:
+    """Everything ``run_experiment`` produces, JSON-serialisable."""
+
+    spec: ExperimentSpec
+    num_snapshots: int
+    steps_evaluated: int
+    series: dict[str, MetricSeries] = field(default_factory=dict)
+
+    def ranking(self) -> list[str]:
+        """Metrics sorted by mean accuracy ratio, best first."""
+        return sorted(self.series, key=lambda m: -self.series[m].mean_ratio)
+
+    def summary_table(self) -> str:
+        lines = [f"{'metric':10s} {'mean ratio':>11s} {'best abs':>9s} {'filtered':>9s}"]
+        for name in self.ranking():
+            s = self.series[name]
+            filtered = (
+                f"{s.mean_filtered_ratio:9.2f}" if s.filtered_ratios else "        -"
+            )
+            best_abs = max(s.absolutes) if s.absolutes else 0.0
+            lines.append(
+                f"{name:10s} {s.mean_ratio:11.2f} {100 * best_abs:8.2f}% {filtered}"
+            )
+        return "\n".join(lines)
+
+    # -- persistence ----------------------------------------------------
+    def to_json(self) -> str:
+        payload = {
+            "spec": json.loads(self.spec.to_json()),
+            "num_snapshots": self.num_snapshots,
+            "steps_evaluated": self.steps_evaluated,
+            "series": {
+                name: {
+                    "ratios": s.ratios,
+                    "absolutes": s.absolutes,
+                    "filtered_ratios": s.filtered_ratios,
+                }
+                for name, s in self.series.items()
+            },
+        }
+        return json.dumps(payload, indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentResult":
+        payload = json.loads(text)
+        spec = ExperimentSpec.from_json(json.dumps(payload["spec"]))
+        result = cls(
+            spec=spec,
+            num_snapshots=payload["num_snapshots"],
+            steps_evaluated=payload["steps_evaluated"],
+        )
+        for name, data in payload["series"].items():
+            result.series[name] = MetricSeries(
+                metric=name,
+                ratios=data["ratios"],
+                absolutes=data["absolutes"],
+                filtered_ratios=data["filtered_ratios"],
+            )
+        return result
+
+    def save(self, path: "str | os.PathLike[str]") -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_json() + "\n")
+
+
+def _load_trace(spec: ExperimentSpec):
+    if spec.dataset in presets.DATASETS:
+        return presets.load(spec.dataset, scale=spec.scale, seed=spec.generation_seed)
+    return read_trace(spec.dataset)
+
+
+def run_experiment(spec: ExperimentSpec) -> ExperimentResult:
+    """Execute one spec end to end."""
+    spec.validate()
+    trace = _load_trace(spec)
+    delta = spec.delta
+    if delta is None:
+        if spec.dataset in presets.DATASETS:
+            delta = presets.snapshot_delta(spec.dataset, spec.scale)
+        else:
+            delta = max(10, trace.num_edges // 20)
+    start = spec.start if spec.start is not None else max(delta, trace.num_edges // 3)
+    snapshots = snapshot_sequence(trace, delta, start=start)
+    steps = list(prediction_steps(snapshots))
+    if spec.max_steps is not None:
+        steps = steps[: spec.max_steps]
+    if not steps:
+        raise ValueError(
+            f"spec produces no prediction steps (delta={delta}, start={start})"
+        )
+
+    pair_filter = None
+    if spec.with_filter:
+        cal_prev, _, cal_truth = steps[len(steps) // 2]
+        pair_filter = TemporalFilter(
+            calibrate_filter(cal_prev, cal_truth, two_hop_pairs(cal_prev), rng=0)
+        )
+
+    result = ExperimentResult(
+        spec=spec, num_snapshots=len(snapshots), steps_evaluated=len(steps)
+    )
+    for metric in spec.metrics:
+        series = MetricSeries(metric=metric)
+        if spec.with_filter:
+            series.filtered_ratios = []
+        for i, (prev, _, truth) in enumerate(steps):
+            ratios, absolutes, filtered = [], [], []
+            for seed in range(spec.repeats):
+                step = evaluate_step(metric, prev, truth, rng=seed * 1009 + i, step=i)
+                ratios.append(step.ratio)
+                absolutes.append(step.absolute)
+                if pair_filter is not None:
+                    filtered.append(
+                        evaluate_step(
+                            metric,
+                            prev,
+                            truth,
+                            rng=seed * 1009 + i,
+                            pair_filter=pair_filter,
+                            step=i,
+                        ).ratio
+                    )
+            series.ratios.append(float(np.mean(ratios)))
+            series.absolutes.append(float(np.mean(absolutes)))
+            if pair_filter is not None:
+                series.filtered_ratios.append(float(np.mean(filtered)))
+        result.series[metric] = series
+    return result

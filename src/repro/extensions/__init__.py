@@ -1,0 +1,43 @@
+"""Extensions beyond the paper's evaluation, from its Section 7 roadmap.
+
+- :mod:`repro.extensions.weighted` — weighted-network link prediction and
+  the weak-tie exponent of Lü & Zhou [27] ("Additional information, such
+  as edge weights [27] ... can improve prediction performance.  We plan to
+  consider these factors in future work.").
+- :mod:`repro.extensions.directed` — directed link prediction ("link
+  direction [43]", the other named future-work item), driven by the growth
+  engine's record of who initiated each edge;
+- :mod:`repro.extensions.incremental` — incremental maintenance of the
+  candidate machinery under edge insertions, the engineering counterpart
+  of the paper's scalability discussion.
+"""
+
+from repro.extensions.directed import (
+    DirectedPreferentialAttachment,
+    DirectedView,
+    SharedFollowees,
+    SharedFollowers,
+    TransitivePaths,
+    generate_directed_trace,
+)
+from repro.extensions.incremental import IncrementalNeighborhood
+from repro.extensions.weighted import (
+    WeightedAdamicAdar,
+    WeightedCommonNeighbors,
+    WeightedResourceAllocation,
+    synthesize_weights,
+)
+
+__all__ = [
+    "DirectedPreferentialAttachment",
+    "DirectedView",
+    "SharedFollowees",
+    "SharedFollowers",
+    "TransitivePaths",
+    "generate_directed_trace",
+    "IncrementalNeighborhood",
+    "WeightedCommonNeighbors",
+    "WeightedAdamicAdar",
+    "WeightedResourceAllocation",
+    "synthesize_weights",
+]

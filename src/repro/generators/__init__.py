@@ -1,0 +1,34 @@
+"""Synthetic temporal-trace generators.
+
+The paper's datasets (Facebook New Orleans, Renren, YouTube) are large
+proprietary/contributed traces.  This subpackage generates laptop-scale
+synthetic equivalents that reproduce the structural and temporal signatures
+the paper's analysis actually depends on:
+
+- exponential node and edge growth with densification (Fig. 1, Figs. 2-4),
+- triadic-closure-dominated, positively assortative friendship networks
+  (Facebook / Renren), with Renren denser and non-sampled,
+- a negatively assortative, supernode-driven subscription network (YouTube)
+  where most nodes have degree <= 3 and a large share of new edges touch
+  the top-0.1% highest-degree nodes,
+- bursty node activity: recently active nodes create most new edges, and
+  recent common-neighbour arrival precedes triangle closure (Section 6).
+"""
+
+from repro.generators.base import GrowthConfig, GrowthEngine
+from repro.generators.fit import fit_growth_config, measure_mechanisms
+from repro.generators.presets import facebook_like, renren_like, youtube_like
+from repro.generators.social import social_config
+from repro.generators.subscription import subscription_config
+
+__all__ = [
+    "GrowthConfig",
+    "GrowthEngine",
+    "facebook_like",
+    "renren_like",
+    "youtube_like",
+    "social_config",
+    "subscription_config",
+    "fit_growth_config",
+    "measure_mechanisms",
+]

@@ -1,0 +1,118 @@
+"""Fit a GrowthConfig to an observed trace.
+
+The presets are calibrated by hand to the paper's three networks.  For a
+*new* trace (loaded with :mod:`repro.graph.io`), ``fit_growth_config``
+measures the mechanisms the engine models and returns a config whose
+synthetic output mimics the observation:
+
+- size trajectory: seed/total node and edge counts, duration;
+- **triadic share**: the fraction of new edges that close a 2-hop pair at
+  creation time — measured exactly, in one pass, with the incremental
+  candidate tracker; measured separately for the first and second half of
+  the trace to capture the lambda_2 trend (``triadic_prob_final``);
+- **newcomer share**: edges created by a node less than a day old;
+- **recency**: median initiator idle time at edge creation, mapped to the
+  recent-actor share;
+- assortativity sign, mapped to degree-matched target choice.
+
+The fit is deliberately method-of-moments simple: the goal is a starting
+point whose structural signatures are in the right region, not a maximum
+likelihood estimate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.extensions.incremental import IncrementalNeighborhood
+from repro.generators.base import GrowthConfig
+from repro.graph.dyngraph import TemporalGraph
+from repro.graph.snapshots import Snapshot
+from repro.graph.stats import degree_assortativity
+
+
+def measure_mechanisms(trace: TemporalGraph) -> dict[str, float]:
+    """One pass over the trace measuring the engine's target mixture.
+
+    Returns a dict with ``triadic_share`` (overall, first and second half),
+    ``newcomer_share``, and ``median_initiator_idle``.
+    """
+    if trace.num_edges < 10:
+        raise ValueError("trace too short to measure mechanisms")
+    tracker = IncrementalNeighborhood()
+    two_hop_closures = 0
+    closures_first, closures_second = 0, 0
+    newcomer_edges = 0
+    idle_samples: list[float] = []
+    half = trace.num_edges // 2
+    for index, (u, v, t) in enumerate(trace.edges()):
+        known = tracker.has_edge(u, v) is False and u in tracker._adj and v in tracker._adj
+        closes = False
+        if known:
+            try:
+                closes = tracker.common_neighbors(u, v) > 0
+            except ValueError:  # pragma: no cover - duplicate edge guard
+                closes = False
+        if closes:
+            two_hop_closures += 1
+            if index < half:
+                closures_first += 1
+            else:
+                closures_second += 1
+        # Newcomer: an endpoint that arrived less than a day before t.
+        if min(t - trace.node_arrival_time(u), t - trace.node_arrival_time(v)) < 1.0:
+            newcomer_edges += 1
+        else:
+            idle_samples.append(
+                min(trace.idle_time(u, t - 1e-9), trace.idle_time(v, t - 1e-9))
+            )
+        tracker.add_edge(u, v)
+    edges = trace.num_edges
+    return {
+        "triadic_share": two_hop_closures / edges,
+        "triadic_share_first_half": closures_first / max(1, half),
+        "triadic_share_second_half": closures_second / max(1, edges - half),
+        "newcomer_share": newcomer_edges / edges,
+        "median_initiator_idle": float(np.median(idle_samples)) if idle_samples else 0.0,
+    }
+
+
+def fit_growth_config(trace: TemporalGraph, name: str = "fitted") -> GrowthConfig:
+    """Method-of-moments GrowthConfig for an observed trace."""
+    mechanisms = measure_mechanisms(trace)
+    snapshot = Snapshot(trace, trace.num_edges)
+    assortativity = degree_assortativity(snapshot)
+    duration = max(1.0, trace.end_time - trace.start_time)
+
+    nodes = sorted(trace.nodes(), key=trace.node_arrival_time)
+    n_seed = max(2, sum(1 for u in nodes if trace.node_arrival_time(u) <= trace.start_time + 1.0))
+    seed_edges = max(1, trace.edge_index_at_time(trace.start_time + 1.0))
+    seed_edges = min(seed_edges, n_seed * (n_seed - 1) // 2)
+    if seed_edges >= trace.num_edges:
+        # Burst traces (everything in the first day): treat the first tenth
+        # of the stream as the seed.
+        seed_edges = max(1, trace.num_edges // 10)
+        n_seed = max(n_seed, int(np.ceil((1 + np.sqrt(1 + 8 * seed_edges)) / 2)))
+
+    triadic_first = min(0.9, mechanisms["triadic_share_first_half"])
+    triadic_second = min(0.9, mechanisms["triadic_share_second_half"])
+    newcomer = min(0.8, mechanisms["newcomer_share"])
+    # Short initiator idle => strong recency reinforcement.
+    recency = 0.6 if mechanisms["median_initiator_idle"] < duration / 20 else 0.3
+    recency = min(recency, 0.95 - newcomer)
+
+    return GrowthConfig(
+        name=name,
+        n_seed=n_seed,
+        seed_edges=seed_edges,
+        total_nodes=max(trace.num_nodes, n_seed),
+        total_edges=trace.num_edges,
+        duration_days=duration,
+        newcomer_prob=newcomer,
+        recent_initiator_prob=recency,
+        triadic_prob=triadic_first,
+        triadic_prob_final=triadic_second,
+        preferential_prob=min(0.2, max(0.0, 1.0 - max(triadic_first, triadic_second) - 0.1)),
+        assortative_matching=0.7 if assortativity > 0.05 else 0.0,
+        degree_saturation=60.0 if assortativity > 0.05 else 0.0,
+    )

@@ -1,0 +1,82 @@
+"""Trace transformations: windowing, relabelling, merging.
+
+Working with external traces usually starts with surgery — cut out the
+interval between two disruptive events (the paper trims both its Renren
+and YouTube traces around exactly such events), compact sparse node ids,
+or merge streams recorded by separate crawlers.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import heapq
+
+from repro.graph.dyngraph import TemporalGraph
+
+
+def time_window(trace: TemporalGraph, start: float, end: float) -> TemporalGraph:
+    """Sub-trace with the edges created in ``[start, end)``.
+
+    Timestamps are preserved (not re-based), so snapshot times remain
+    comparable with the original trace.  This is the operation the paper
+    applies to avoid the Renren merger and the YouTube policy change
+    ("we use continuous subtraces that do not include the external
+    events in question").
+    """
+    if end <= start:
+        raise ValueError(f"empty window [{start}, {end})")
+    return TemporalGraph.from_stream(
+        (u, v, t) for u, v, t in trace.edges() if start <= t < end
+    )
+
+
+def relabel(trace: TemporalGraph) -> tuple[TemporalGraph, dict[int, int]]:
+    """Compact node ids to ``0..n-1`` in order of first appearance.
+
+    Returns ``(new_trace, mapping)`` with ``mapping[old_id] = new_id``.
+    External traces often use sparse 64-bit ids; dense ids keep the matrix
+    machinery small.
+    """
+    mapping: dict[int, int] = {}
+
+    def canonical(node: int) -> int:
+        if node not in mapping:
+            mapping[node] = len(mapping)
+        return mapping[node]
+
+    relabelled = TemporalGraph()
+    for u, v, t in trace.edges():
+        relabelled.add_edge(canonical(u), canonical(v), t)
+    # Preserve isolated (edge-less) nodes too.
+    for node in trace.nodes():
+        if node not in mapping:
+            mapping[node] = len(mapping)
+            relabelled.add_node(mapping[node], trace.node_arrival_time(node))
+    return relabelled, mapping
+
+
+def merge(traces: Iterable[TemporalGraph]) -> TemporalGraph:
+    """Merge several traces into one time-ordered stream.
+
+    Node ids are taken as-is (callers relabel first if the id spaces
+    collide); duplicate edges keep their earliest creation time.  Streams
+    are merged with a heap, so the result is built in timestamp order as
+    ``TemporalGraph`` requires.
+    """
+    streams = [trace.edges() for trace in traces]
+    merged = TemporalGraph()
+    ordered = heapq.merge(*streams, key=lambda event: event[2])
+    for u, v, t in ordered:
+        merged.add_edge(u, v, t)
+    return merged
+
+
+def rebase_time(trace: TemporalGraph) -> TemporalGraph:
+    """Shift timestamps so the first edge happens at t = 0."""
+    if trace.num_edges == 0:
+        return trace.copy()
+    offset = trace.start_time
+    return TemporalGraph.from_stream(
+        (u, v, t - offset) for u, v, t in trace.edges()
+    )

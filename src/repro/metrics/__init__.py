@@ -1,0 +1,55 @@
+"""The 14 metric-based link prediction algorithms of Table 3.
+
+Importing this package registers every metric; use
+:func:`~repro.metrics.base.get_metric` / ``all_metric_names()`` to
+instantiate them by their paper names:
+
+``CN  JC  AA  RA  BCN  BAA  BRA  LP  SP  PA  PPR  LRW  Katz_lr  Katz_sc
+Rescal``
+
+(Katz appears twice — the low-rank and the scalable approximation — so 15
+names cover the paper's "14 metrics + two Katz implementations".)
+"""
+
+from repro.metrics import (  # noqa: F401  (import for registration side effect)
+    local,
+    naive_bayes,
+    paths,
+    preferential,
+    rescal,
+    walks,
+)
+from repro.metrics.base import SimilarityMetric, all_metric_names, get_metric
+from repro.metrics.candidates import (
+    all_nonedge_pairs,
+    candidate_pairs,
+    num_nonedge_pairs,
+    random_nonedge_pairs,
+    two_hop_pairs,
+)
+
+#: The metric set plotted in Figure 5 (CN/AA/RA omitted there because their
+#: LNB versions perform near-identically; we keep them available).
+FIGURE5_METRICS = (
+    "JC", "BCN", "BAA", "BRA", "LP", "LRW", "PPR", "SP",
+    "Katz_lr", "Katz_sc", "Rescal", "PA",
+)
+
+#: The 14 feature metrics fed to the classifiers in Section 5 (one Katz).
+CLASSIFIER_FEATURES = (
+    "CN", "JC", "AA", "RA", "BCN", "BAA", "BRA",
+    "LP", "SP", "PA", "PPR", "LRW", "Katz_lr", "Rescal",
+)
+
+__all__ = [
+    "SimilarityMetric",
+    "get_metric",
+    "all_metric_names",
+    "candidate_pairs",
+    "two_hop_pairs",
+    "all_nonedge_pairs",
+    "num_nonedge_pairs",
+    "random_nonedge_pairs",
+    "FIGURE5_METRICS",
+    "CLASSIFIER_FEATURES",
+]

@@ -1,0 +1,138 @@
+"""Common-neighbourhood heuristics: CN, JC, AA, RA (Table 3).
+
+All four reduce to weighted 2-hop path counts, computed as one sparse
+matrix product ``A @ diag(w) @ A`` with a per-intermediate-node weight:
+
+======  ==========================  =====================
+metric  weight on intermediate w    normalisation
+======  ==========================  =====================
+CN      1                           —
+JC      1                           / |Γ(u) ∪ Γ(v)|
+AA      1 / log(deg(w))             —
+RA      1 / deg(w)                  —
+======  ==========================  =====================
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.graph.snapshots import Snapshot
+from repro.metrics.base import (
+    SimilarityMetric,
+    adjacency,
+    cached,
+    degrees,
+    matrix_values,
+    pairs_to_indices,
+    register,
+    two_hop_matrix,
+)
+
+
+def weighted_two_hop(snapshot: Snapshot, weights: np.ndarray, key: str) -> sp.csr_matrix:
+    """Cached ``A @ diag(weights) @ A`` for a per-node weight vector."""
+    def compute() -> sp.csr_matrix:
+        a = adjacency(snapshot)
+        return (a @ sp.diags(weights) @ a).tocsr()
+
+    return cached(snapshot, key, compute)
+
+
+def _safe_inv_log_degree(snapshot: Snapshot) -> np.ndarray:
+    """``1 / log(deg)`` with degree-1 nodes zeroed.
+
+    A degree-1 node can never be a common neighbour of a distinct pair, so
+    zeroing it changes no pair score while avoiding division by log(1)=0.
+    """
+    deg = degrees(snapshot)
+    out = np.zeros_like(deg)
+    mask = deg > 1
+    out[mask] = 1.0 / np.log(deg[mask])
+    return out
+
+
+def _safe_inv_degree(snapshot: Snapshot) -> np.ndarray:
+    deg = degrees(snapshot)
+    out = np.zeros_like(deg)
+    mask = deg > 0
+    out[mask] = 1.0 / deg[mask]
+    return out
+
+
+@register
+class CommonNeighbors(SimilarityMetric):
+    """CN [32]: ``|Γ(u) ∩ Γ(v)|``."""
+
+    name = "CN"
+    candidate_strategy = "two_hop"
+
+    def fit(self, snapshot: Snapshot) -> "CommonNeighbors":
+        self.snapshot = snapshot
+        self._matrix = two_hop_matrix(snapshot)
+        return self
+
+    def score(self, pairs: np.ndarray) -> np.ndarray:
+        snapshot = self._require_fit()
+        rows, cols = pairs_to_indices(snapshot, pairs)
+        return matrix_values(self._matrix, rows, cols)
+
+
+@register
+class JaccardCoefficient(SimilarityMetric):
+    """JC [23]: ``|Γ(u) ∩ Γ(v)| / |Γ(u) ∪ Γ(v)|``."""
+
+    name = "JC"
+    candidate_strategy = "two_hop"
+
+    def fit(self, snapshot: Snapshot) -> "JaccardCoefficient":
+        self.snapshot = snapshot
+        self._matrix = two_hop_matrix(snapshot)
+        self._deg = degrees(snapshot)
+        return self
+
+    def score(self, pairs: np.ndarray) -> np.ndarray:
+        snapshot = self._require_fit()
+        rows, cols = pairs_to_indices(snapshot, pairs)
+        cn = matrix_values(self._matrix, rows, cols)
+        union = self._deg[rows] + self._deg[cols] - cn
+        out = np.zeros_like(cn)
+        np.divide(cn, union, out=out, where=union > 0)
+        return out
+
+
+@register
+class AdamicAdar(SimilarityMetric):
+    """AA [2]: ``sum over common neighbours w of 1 / log(deg(w))``."""
+
+    name = "AA"
+    candidate_strategy = "two_hop"
+
+    def fit(self, snapshot: Snapshot) -> "AdamicAdar":
+        self.snapshot = snapshot
+        self._matrix = weighted_two_hop(snapshot, _safe_inv_log_degree(snapshot), "AA_mat")
+        return self
+
+    def score(self, pairs: np.ndarray) -> np.ndarray:
+        snapshot = self._require_fit()
+        rows, cols = pairs_to_indices(snapshot, pairs)
+        return matrix_values(self._matrix, rows, cols)
+
+
+@register
+class ResourceAllocation(SimilarityMetric):
+    """RA [45]: ``sum over common neighbours w of 1 / deg(w)``."""
+
+    name = "RA"
+    candidate_strategy = "two_hop"
+
+    def fit(self, snapshot: Snapshot) -> "ResourceAllocation":
+        self.snapshot = snapshot
+        self._matrix = weighted_two_hop(snapshot, _safe_inv_degree(snapshot), "RA_mat")
+        return self
+
+    def score(self, pairs: np.ndarray) -> np.ndarray:
+        snapshot = self._require_fit()
+        rows, cols = pairs_to_indices(snapshot, pairs)
+        return matrix_values(self._matrix, rows, cols)

@@ -1,0 +1,137 @@
+"""RESCAL [33]: collective matrix factorisation (Table 3).
+
+RESCAL factorises the adjacency matrix as ``A ≈ X R X^T`` where ``X`` gives
+every node an ``r``-dimensional latent representation and ``R`` models the
+interaction between latent components.  The pair score is the symmetrised
+reconstruction ``XRX^T(u,v) + XRX^T(v,u)``.
+
+The alternating-least-squares updates follow Nickel et al. for a single
+relation slice:
+
+- ``R`` update (exact LS solution given X):
+  ``R = pinv(X) A pinv(X)^T``
+- ``X`` update (one relation, symmetric A):
+  ``X <- (A X R^T + A^T X R) (R M R^T + R^T M R + lambda I)^{-1}``
+  with ``M = X^T X``.
+
+Section 4.2's key observation — RESCAL concentrates weight on supernodes
+and therefore dominates on the disassortative YouTube graph — emerges
+directly from this factorisation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse.linalg as spla
+
+from repro.graph.snapshots import Snapshot
+from repro.metrics.base import SimilarityMetric, adjacency, cached, pairs_to_indices, register
+
+
+def rescal_als(
+    a_sparse,
+    rank: int,
+    iterations: int = 25,
+    regularization: float = 1e-2,
+    tol: float = 1e-5,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Run RESCAL ALS on a (sparse, symmetric) adjacency matrix.
+
+    Returns ``(X, R)``.  ``X`` is initialised from the top-``rank``
+    eigenvectors of ``A`` (the standard "eigen init" which makes the
+    factorisation deterministic for a given snapshot).
+    """
+    n = a_sparse.shape[0]
+    rank = min(rank, max(1, n - 2))
+    if n <= rank + 2:
+        _, x = np.linalg.eigh(a_sparse.toarray())
+        x = x[:, -rank:]
+    else:
+        _, x = spla.eigsh(a_sparse, k=rank, which="LM")
+    r = _update_r(a_sparse, x)
+    prev_fit = np.inf
+    for _ in range(iterations):
+        x = _update_x(a_sparse, x, r, regularization)
+        r = _update_r(a_sparse, x)
+        fit = _fit_residual(a_sparse, x, r)
+        if abs(prev_fit - fit) < tol * max(1.0, abs(prev_fit)):
+            break
+        prev_fit = fit
+    return x, r
+
+
+def _update_r(a_sparse, x: np.ndarray) -> np.ndarray:
+    """Exact least-squares update of R given X."""
+    pinv = np.linalg.pinv(x)
+    return pinv @ (a_sparse @ pinv.T)
+
+
+def _update_x(a_sparse, x: np.ndarray, r: np.ndarray, reg: float) -> np.ndarray:
+    """Regularised least-squares update of X given R (A symmetric)."""
+    m = x.T @ x
+    ax = a_sparse @ x
+    numerator = ax @ r.T + ax @ r  # A X R^T + A^T X R with A = A^T
+    denominator = r @ m @ r.T + r.T @ m @ r + reg * np.eye(x.shape[1])
+    return np.linalg.solve(denominator.T, numerator.T).T
+
+
+def _fit_residual(a_sparse, x: np.ndarray, r: np.ndarray) -> float:
+    """||A - X R X^T||_F^2 without materialising the n x n reconstruction.
+
+    Expands the norm: ||A||^2 - 2 <A, XRX^T> + ||XRX^T||^2; every term
+    reduces to r x r products.
+    """
+    m = x.T @ x
+    ax = a_sparse @ x
+    a_norm = a_sparse.multiply(a_sparse).sum()
+    cross = np.sum((x.T @ ax) * r)
+    recon = np.sum((m @ r @ m) * r.T)
+    return float(a_norm - 2.0 * cross + recon)
+
+
+@register
+class Rescal(SimilarityMetric):
+    """RESCAL [33] with eigen-initialised ALS."""
+
+    name = "Rescal"
+    candidate_strategy = "all"
+
+    def __init__(self, rank: int = 25, iterations: int = 25, regularization: float = 1e-2):
+        super().__init__()
+        if rank < 1:
+            raise ValueError(f"rank must be >= 1, got {rank}")
+        self.rank = rank
+        self.iterations = iterations
+        self.regularization = regularization
+
+    def fit(self, snapshot: Snapshot) -> "Rescal":
+        self.snapshot = snapshot
+        key = f"rescal_{self.rank}_{self.iterations}_{self.regularization}"
+
+        def compute() -> tuple[np.ndarray, np.ndarray]:
+            return rescal_als(
+                adjacency(snapshot),
+                rank=self.rank,
+                iterations=self.iterations,
+                regularization=self.regularization,
+            )
+
+        self._x, self._r = cached(snapshot, key, compute)
+        self._xr = self._x @ self._r
+        return self
+
+    def score(self, pairs: np.ndarray) -> np.ndarray:
+        snapshot = self._require_fit()
+        rows, cols = pairs_to_indices(snapshot, pairs)
+        forward = np.einsum("ij,ij->i", self._xr[rows], self._x[cols])
+        backward = np.einsum("ij,ij->i", self._xr[cols], self._x[rows])
+        return forward + backward
+
+    def node_weights(self) -> np.ndarray:
+        """Latent importance per node (row norm of X).
+
+        Used in the Section 4.2 analysis: on subscription networks the
+        supernodes carry far larger latent weight than everyone else.
+        """
+        self._require_fit()
+        return np.linalg.norm(self._x, axis=1)

@@ -1,0 +1,64 @@
+"""Minimal machine-learning library (the scikit-learn substitute).
+
+The paper's classification-based predictors (Section 5) use four classifiers
+from scikit-learn [34]; that library is unavailable offline, so this package
+implements the same models from scratch on numpy/scipy:
+
+- :class:`~repro.ml.svm.LinearSVM` — L2-regularised squared-hinge linear SVM
+  (the paper's consistently-best classifier; its ``coef_`` drives Fig. 12),
+- :class:`~repro.ml.logistic.LogisticRegression`,
+- :class:`~repro.ml.naive_bayes.GaussianNaiveBayes`,
+- :class:`~repro.ml.tree.DecisionTreeClassifier` — CART, multiclass, with
+  rule export for the Section 4.3 analysis,
+- :class:`~repro.ml.forest.RandomForestClassifier`,
+
+plus preprocessing (:class:`~repro.ml.preprocessing.StandardScaler`) and
+evaluation metrics (accuracy / precision / recall / F1 / ROC AUC).
+"""
+
+from repro.ml.boosting import AdaBoostClassifier, GradientBoostingClassifier
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.kernel_svm import KernelSVM
+from repro.ml.logistic import LogisticRegression
+from repro.ml.metrics import (
+    accuracy_score,
+    f1_score,
+    precision_score,
+    recall_score,
+    roc_auc_score,
+)
+from repro.ml.naive_bayes import GaussianNaiveBayes
+from repro.ml.preprocessing import StandardScaler, train_test_split
+from repro.ml.svm import LinearSVM
+from repro.ml.tree import DecisionTreeClassifier
+
+#: classifier registry, keyed by the names used throughout the paper, plus
+#: the boosted ensembles used to reproduce its "larger ensembles don't
+#: noticeably help" negative result.
+CLASSIFIERS = {
+    "SVM": LinearSVM,
+    "LR": LogisticRegression,
+    "NB": GaussianNaiveBayes,
+    "RF": RandomForestClassifier,
+    "AdaBoost": AdaBoostClassifier,
+    "GBT": GradientBoostingClassifier,
+}
+
+__all__ = [
+    "AdaBoostClassifier",
+    "GradientBoostingClassifier",
+    "KernelSVM",
+    "LinearSVM",
+    "LogisticRegression",
+    "GaussianNaiveBayes",
+    "DecisionTreeClassifier",
+    "RandomForestClassifier",
+    "StandardScaler",
+    "train_test_split",
+    "accuracy_score",
+    "precision_score",
+    "recall_score",
+    "f1_score",
+    "roc_auc_score",
+    "CLASSIFIERS",
+]

@@ -1,0 +1,56 @@
+"""Shared classifier plumbing."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+
+def check_xy(x, y=None) -> "tuple[np.ndarray, np.ndarray | None]":
+    """Validate and convert inputs to float64 / int64 arrays."""
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim != 2:
+        raise ValueError(f"X must be 2-D, got shape {x.shape}")
+    if not np.isfinite(x).all():
+        raise ValueError("X contains NaN or infinity")
+    if y is None:
+        return x, None
+    y = np.asarray(y)
+    if y.ndim != 1:
+        raise ValueError(f"y must be 1-D, got shape {y.shape}")
+    if len(y) != len(x):
+        raise ValueError(f"X has {len(x)} rows but y has {len(y)}")
+    return x, y
+
+
+class BinaryClassifier(ABC):
+    """Protocol all binary classifiers in :mod:`repro.ml` follow.
+
+    ``decision_function`` returns a continuous score (higher = more likely
+    positive); it is what the link prediction pipeline ranks node pairs by.
+    """
+
+    classes_: np.ndarray
+
+    @abstractmethod
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "BinaryClassifier":
+        ...
+
+    @abstractmethod
+    def decision_function(self, x: np.ndarray) -> np.ndarray:
+        ...
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Binary labels derived from the decision function at threshold 0."""
+        return (self.decision_function(x) > 0).astype(np.int64)
+
+    def _encode_labels(self, y: np.ndarray) -> np.ndarray:
+        """Map arbitrary binary labels to {-1, +1}; stores ``classes_``."""
+        classes = np.unique(y)
+        if len(classes) != 2:
+            raise ValueError(
+                f"binary classifier requires exactly 2 classes, got {classes}"
+            )
+        self.classes_ = classes
+        return np.where(y == classes[1], 1.0, -1.0)

@@ -1,0 +1,93 @@
+"""Random forest built on :mod:`repro.ml.tree`.
+
+Bootstrap-sampled CART trees with sqrt-feature subsampling, probability
+averaging across trees.  The paper finds random forests consistently weak
+for link prediction (Fig. 9); having the real model lets the benches show
+that, not assume it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import check_xy
+from repro.ml.tree import DecisionTreeClassifier
+from repro.utils.rng import ensure_rng, spawn_rngs
+
+
+class RandomForestClassifier:
+    """Bagged CART ensemble."""
+
+    def __init__(
+        self,
+        n_estimators: int = 20,
+        max_depth: "int | None" = 12,
+        min_samples_leaf: int = 1,
+        max_features: "int | str | None" = "sqrt",
+        seed: "int | np.random.Generator | None" = None,
+    ) -> None:
+        if n_estimators < 1:
+            raise ValueError("n_estimators must be >= 1")
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.seed = seed
+        self.trees_: list[DecisionTreeClassifier] = []
+        self.classes_: np.ndarray | None = None
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "RandomForestClassifier":
+        x, y = check_xy(x, y)
+        self.classes_ = np.unique(y)
+        rng = ensure_rng(self.seed)
+        tree_rngs = spawn_rngs(rng, self.n_estimators)
+        self.trees_ = []
+        n = len(x)
+        for tree_rng in tree_rngs:
+            rows = tree_rng.integers(0, n, size=n)  # bootstrap sample
+            # Guarantee both classes appear so every tree is trainable.
+            if len(np.unique(y[rows])) < len(self.classes_):
+                for cls in self.classes_:
+                    if cls not in y[rows]:
+                        idx = np.flatnonzero(y == cls)
+                        rows[int(tree_rng.integers(0, n))] = idx[
+                            int(tree_rng.integers(0, len(idx)))
+                        ]
+            tree = DecisionTreeClassifier(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=self.max_features,
+                seed=tree_rng,
+            )
+            tree.fit(x[rows], y[rows])
+            self.trees_.append(tree)
+        return self
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        if not self.trees_:
+            raise RuntimeError("RandomForestClassifier: call fit before predict")
+        x, _ = check_xy(x)
+        # Trees may see different class subsets in bootstraps; align columns
+        # by the forest-level class list.
+        out = np.zeros((len(x), len(self.classes_)))
+        for tree in self.trees_:
+            proba = tree.predict_proba(x)
+            cols = np.searchsorted(self.classes_, tree.classes_)
+            out[:, cols] += proba
+        return out / len(self.trees_)
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        proba = self.predict_proba(x)
+        return self.classes_[np.argmax(proba, axis=1)]
+
+    def decision_function(self, x: np.ndarray) -> np.ndarray:
+        """Mean positive-class probability (binary convention)."""
+        if len(self.classes_) != 2:
+            raise RuntimeError("decision_function requires binary labels")
+        return self.predict_proba(x)[:, 1]
+
+    @property
+    def feature_importances_(self) -> np.ndarray:
+        if not self.trees_:
+            raise RuntimeError("RandomForestClassifier: call fit first")
+        return np.mean([t.feature_importances_ for t in self.trees_], axis=0)

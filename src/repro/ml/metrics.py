@@ -1,0 +1,72 @@
+"""Classification quality measures."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _binary_counts(y_true: np.ndarray, y_pred: np.ndarray) -> tuple[int, int, int, int]:
+    y_true = np.asarray(y_true).astype(bool)
+    y_pred = np.asarray(y_pred).astype(bool)
+    if y_true.shape != y_pred.shape:
+        raise ValueError("y_true and y_pred must have the same shape")
+    tp = int(np.sum(y_true & y_pred))
+    fp = int(np.sum(~y_true & y_pred))
+    fn = int(np.sum(y_true & ~y_pred))
+    tn = int(np.sum(~y_true & ~y_pred))
+    return tp, fp, fn, tn
+
+
+def accuracy_score(y_true, y_pred) -> float:
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape != y_pred.shape:
+        raise ValueError("y_true and y_pred must have the same shape")
+    if len(y_true) == 0:
+        raise ValueError("accuracy undefined for empty input")
+    return float(np.mean(y_true == y_pred))
+
+
+def precision_score(y_true, y_pred) -> float:
+    tp, fp, _, _ = _binary_counts(y_true, y_pred)
+    return tp / (tp + fp) if tp + fp else 0.0
+
+
+def recall_score(y_true, y_pred) -> float:
+    tp, _, fn, _ = _binary_counts(y_true, y_pred)
+    return tp / (tp + fn) if tp + fn else 0.0
+
+
+def f1_score(y_true, y_pred) -> float:
+    p = precision_score(y_true, y_pred)
+    r = recall_score(y_true, y_pred)
+    return 2 * p * r / (p + r) if p + r else 0.0
+
+
+def roc_auc_score(y_true, scores) -> float:
+    """Rank-based AUC (probability a positive outranks a negative).
+
+    Ties get half credit, matching the Mann-Whitney U formulation — and the
+    AUC convention of the link prediction survey [28].
+    """
+    y_true = np.asarray(y_true).astype(bool)
+    scores = np.asarray(scores, dtype=np.float64)
+    if y_true.shape != scores.shape:
+        raise ValueError("y_true and scores must have the same shape")
+    n_pos = int(y_true.sum())
+    n_neg = len(y_true) - n_pos
+    if n_pos == 0 or n_neg == 0:
+        raise ValueError("AUC requires at least one positive and one negative")
+    # Midranks handle ties exactly.
+    order = np.argsort(scores, kind="stable")
+    ranks = np.empty(len(scores), dtype=np.float64)
+    sorted_scores = scores[order]
+    i = 0
+    while i < len(scores):
+        j = i
+        while j + 1 < len(scores) and sorted_scores[j + 1] == sorted_scores[i]:
+            j += 1
+        ranks[order[i : j + 1]] = (i + j) / 2.0 + 1.0
+        i = j + 1
+    pos_rank_sum = float(ranks[y_true].sum())
+    return (pos_rank_sum - n_pos * (n_pos + 1) / 2.0) / (n_pos * n_neg)

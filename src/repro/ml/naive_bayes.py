@@ -1,0 +1,55 @@
+"""Gaussian naive Bayes."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import BinaryClassifier, check_xy
+
+
+class GaussianNaiveBayes(BinaryClassifier):
+    """Per-class independent Gaussians over each feature.
+
+    ``decision_function`` is the positive-vs-negative log-posterior ratio,
+    which ranks node pairs for the top-k prediction step.
+    """
+
+    def __init__(self, var_smoothing: float = 1e-9) -> None:
+        if var_smoothing < 0:
+            raise ValueError(f"var_smoothing must be non-negative, got {var_smoothing}")
+        self.var_smoothing = var_smoothing
+        self._fitted = False
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "GaussianNaiveBayes":
+        x, y = check_xy(x, y)
+        signs = self._encode_labels(y)
+        smoothing = self.var_smoothing * float(x.var(axis=0).max() or 1.0)
+        self.theta_ = np.empty((2, x.shape[1]))
+        self.var_ = np.empty((2, x.shape[1]))
+        self.log_prior_ = np.empty(2)
+        for idx, sign in enumerate((-1.0, 1.0)):
+            rows = x[signs == sign]
+            self.theta_[idx] = rows.mean(axis=0)
+            self.var_[idx] = rows.var(axis=0) + smoothing
+            self.log_prior_[idx] = np.log(len(rows) / len(x))
+        self._fitted = True
+        return self
+
+    def _log_likelihood(self, x: np.ndarray, idx: int) -> np.ndarray:
+        diff = x - self.theta_[idx]
+        return -0.5 * np.sum(
+            np.log(2.0 * np.pi * self.var_[idx]) + diff**2 / self.var_[idx], axis=1
+        )
+
+    def decision_function(self, x: np.ndarray) -> np.ndarray:
+        if not self._fitted:
+            raise RuntimeError("GaussianNaiveBayes: call fit before decision_function")
+        x, _ = check_xy(x)
+        pos = self._log_likelihood(x, 1) + self.log_prior_[1]
+        neg = self._log_likelihood(x, 0) + self.log_prior_[0]
+        return pos - neg
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        """Posterior probability of the positive class."""
+        ratio = self.decision_function(x)
+        return 1.0 / (1.0 + np.exp(-np.clip(ratio, -500, 500)))

@@ -1,0 +1,58 @@
+"""Feature preprocessing helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng
+
+
+class StandardScaler:
+    """Zero-mean / unit-variance feature scaling.
+
+    The similarity-metric features span wildly different ranges (PA in the
+    thousands, LRW around 1e-4), so the linear classifiers require scaling —
+    and Fig. 12's coefficient comparison is only meaningful on standardised
+    features.
+    """
+
+    def __init__(self) -> None:
+        self.mean_: np.ndarray | None = None
+        self.scale_: np.ndarray | None = None
+
+    def fit(self, x: np.ndarray) -> "StandardScaler":
+        x = np.asarray(x, dtype=np.float64)
+        self.mean_ = x.mean(axis=0)
+        scale = x.std(axis=0)
+        # Constant features scale to 1 so they transform to exactly zero.
+        scale[scale == 0] = 1.0
+        self.scale_ = scale
+        return self
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        if self.mean_ is None:
+            raise RuntimeError("StandardScaler: call fit before transform")
+        return (np.asarray(x, dtype=np.float64) - self.mean_) / self.scale_
+
+    def fit_transform(self, x: np.ndarray) -> np.ndarray:
+        return self.fit(x).transform(x)
+
+
+def train_test_split(
+    x: np.ndarray,
+    y: np.ndarray,
+    test_fraction: float = 0.25,
+    seed: "int | np.random.Generator | None" = None,
+):
+    """Shuffle and split ``(x, y)`` into train and test portions."""
+    if not 0 < test_fraction < 1:
+        raise ValueError(f"test_fraction must be in (0, 1), got {test_fraction}")
+    x = np.asarray(x)
+    y = np.asarray(y)
+    if len(x) != len(y):
+        raise ValueError("x and y must have the same length")
+    rng = ensure_rng(seed)
+    order = rng.permutation(len(x))
+    cut = int(round(len(x) * (1 - test_fraction)))
+    train, test = order[:cut], order[cut:]
+    return x[train], x[test], y[train], y[test]

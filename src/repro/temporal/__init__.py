@@ -1,0 +1,30 @@
+"""Temporal analysis and the paper's temporal filters (Section 6).
+
+Three observations about network dynamics drive this subpackage:
+
+- recently active nodes create most new edges (Figs. 13-14),
+- a recently arrived *common neighbour* often precedes triangle closure
+  (Fig. 15),
+- both signals separate positive from negative candidate pairs sharply
+  enough to act as hard filters.
+
+:class:`~repro.temporal.filters.TemporalFilter` implements the 4-criterion
+filter of Section 6.2; :mod:`repro.temporal.calibrate` discovers per-network
+thresholds (Table 7) from positive/negative CDFs;
+:mod:`repro.temporal.timeseries` implements the time-series baseline [10]
+the filters are compared against in Section 6.3.
+"""
+
+from repro.temporal.activity import PairActivity, pair_activity
+from repro.temporal.calibrate import calibrate_filter
+from repro.temporal.filters import FilterParams, TemporalFilter
+from repro.temporal.timeseries import TimeSeriesMetric
+
+__all__ = [
+    "PairActivity",
+    "pair_activity",
+    "FilterParams",
+    "TemporalFilter",
+    "calibrate_filter",
+    "TimeSeriesMetric",
+]

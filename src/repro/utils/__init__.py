@@ -1,0 +1,6 @@
+"""Shared low-level helpers: RNG handling, node-pair canonicalisation."""
+
+from repro.utils.pairs import canonical_pair, pair_array, pair_set
+from repro.utils.rng import ensure_rng
+
+__all__ = ["canonical_pair", "pair_array", "pair_set", "ensure_rng"]

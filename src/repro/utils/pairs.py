@@ -1,0 +1,39 @@
+"""Canonical representation of unordered node pairs.
+
+Link prediction on undirected graphs constantly manipulates sets of node
+pairs (candidates, predictions, ground truth).  A single canonical form —
+``(min(u, v), max(u, v))`` — makes set membership and intersection reliable
+across the whole library.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+Pair = tuple[int, int]
+
+
+def canonical_pair(u: int, v: int) -> Pair:
+    """Return the unordered pair ``(u, v)`` in canonical (sorted) order."""
+    if u == v:
+        raise ValueError(f"self-pair ({u}, {u}) is not a valid link candidate")
+    return (u, v) if u < v else (v, u)
+
+
+def pair_set(pairs: Iterable[tuple[int, int]]) -> set[Pair]:
+    """Canonicalise an iterable of pairs into a set."""
+    return {canonical_pair(u, v) for u, v in pairs}
+
+
+def pair_array(pairs: Iterable[tuple[int, int]]) -> np.ndarray:
+    """Return an ``(n, 2)`` int64 array of canonicalised pairs.
+
+    The array form is what the vectorised scorers in :mod:`repro.metrics`
+    consume; it preserves the iteration order of ``pairs``.
+    """
+    arr = np.asarray([canonical_pair(u, v) for u, v in pairs], dtype=np.int64)
+    if arr.size == 0:
+        return arr.reshape(0, 2)
+    return arr

@@ -1,0 +1,37 @@
+"""Random-number-generator plumbing.
+
+Every stochastic component in the library accepts either an integer seed, an
+existing :class:`numpy.random.Generator`, or ``None``.  ``ensure_rng``
+normalises all three into a ``Generator`` so call sites never branch on the
+type of their ``seed`` argument.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+RngLike = "int | np.random.Generator | None"
+
+
+def ensure_rng(seed: "int | np.random.Generator | None" = None) -> np.random.Generator:
+    """Return a numpy ``Generator`` for any accepted seed specification.
+
+    Passing an existing generator returns it unchanged, which lets a caller
+    thread one RNG through a pipeline for reproducibility.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: "int | np.random.Generator | None", count: int) -> list[np.random.Generator]:
+    """Derive ``count`` independent child generators from one seed.
+
+    Used when an experiment repeats a stochastic step (e.g. 5 snowball-sample
+    seeds per network, as in Section 5.1 of the paper) and each repetition
+    must be independently reproducible.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    root = ensure_rng(seed)
+    return [np.random.default_rng(s) for s in root.integers(0, 2**63 - 1, size=count)]

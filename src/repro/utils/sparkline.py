@@ -1,0 +1,54 @@
+"""Unicode sparklines for terminal reports.
+
+Benchmarks and CLI reports work in plain text; a sparkline shows a series'
+shape (the thing the reproduction cares about) without plotting
+dependencies.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import math
+
+#: eight block heights; index by scaled value.
+_BARS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], log: bool = False) -> str:
+    """Render ``values`` as a fixed-height unicode bar string.
+
+    ``log=True`` uses a log1p scale, appropriate for accuracy-ratio series
+    whose dynamic range spans orders of magnitude.  Non-finite values
+    render as spaces.
+    """
+    cleaned = [float(v) for v in values]
+    finite = [v for v in cleaned if math.isfinite(v)]
+    if not finite:
+        return " " * len(cleaned)
+    scale = (lambda v: math.log1p(max(v, 0.0))) if log else (lambda v: v)
+    scaled = [scale(v) if math.isfinite(v) else None for v in cleaned]
+    finite_scaled = [v for v in scaled if v is not None]
+    low, high = min(finite_scaled), max(finite_scaled)
+    span = high - low
+    chars = []
+    for v in scaled:
+        if v is None:
+            chars.append(" ")
+        elif span == 0:
+            chars.append(_BARS[3])
+        else:
+            idx = int((v - low) / span * (len(_BARS) - 1))
+            chars.append(_BARS[idx])
+    return "".join(chars)
+
+
+def labeled_sparkline(label: str, values: Sequence[float], width: int = 10,
+                      log: bool = False) -> str:
+    """``label  ▁▃▅█  min..max`` one-liner for report tables."""
+    finite = [v for v in values if math.isfinite(v)]
+    if finite:
+        tail = f"{min(finite):.2f}..{max(finite):.2f}"
+    else:
+        tail = "-"
+    return f"{label:<{width}s} {sparkline(values, log=log)} {tail}"

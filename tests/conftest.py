@@ -1,0 +1,83 @@
+"""Shared fixtures: small hand-built graphs plus session-scoped preset traces."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.generators import presets
+from repro.graph.dyngraph import TemporalGraph
+from repro.graph.snapshots import Snapshot, snapshot_sequence
+
+
+def build_trace(events) -> TemporalGraph:
+    """Build a TemporalGraph from (u, v, t) tuples."""
+    return TemporalGraph.from_stream(events)
+
+
+@pytest.fixture
+def tiny_trace() -> TemporalGraph:
+    """A hand-built 8-node trace with known structure and timing.
+
+    Final graph (edges in creation order, times in days):
+
+        0-1 (0.0)   1-2 (1.0)   0-2 (2.0)   2-3 (3.0)   3-4 (4.0)
+        0-3 (5.0)   4-5 (6.0)   1-4 (7.0)   5-6 (8.0)   2-6 (9.0)
+        6-7 (10.0)  0-7 (11.0)
+    """
+    return build_trace(
+        [
+            (0, 1, 0.0),
+            (1, 2, 1.0),
+            (0, 2, 2.0),
+            (2, 3, 3.0),
+            (3, 4, 4.0),
+            (0, 3, 5.0),
+            (4, 5, 6.0),
+            (1, 4, 7.0),
+            (5, 6, 8.0),
+            (2, 6, 9.0),
+            (6, 7, 10.0),
+            (0, 7, 11.0),
+        ]
+    )
+
+
+@pytest.fixture
+def tiny_snapshot(tiny_trace) -> Snapshot:
+    """Snapshot of the full tiny trace."""
+    return Snapshot(tiny_trace, tiny_trace.num_edges)
+
+
+@pytest.fixture
+def triangle_plus_trace() -> TemporalGraph:
+    """Triangle 0-1-2 plus pendant 3 attached to 2, then 0-3 closing later.
+
+    Useful for hand-computing CN/AA/RA/LNB scores.
+    """
+    return build_trace(
+        [
+            (0, 1, 0.0),
+            (1, 2, 1.0),
+            (0, 2, 2.0),
+            (2, 3, 3.0),
+        ]
+    )
+
+
+@pytest.fixture(scope="session")
+def small_facebook() -> TemporalGraph:
+    """A small facebook-like preset trace, shared across the session."""
+    return presets.facebook_like(scale=0.25, seed=7)
+
+
+@pytest.fixture(scope="session")
+def small_youtube() -> TemporalGraph:
+    """A small youtube-like preset trace, shared across the session."""
+    return presets.youtube_like(scale=0.25, seed=7)
+
+
+@pytest.fixture(scope="session")
+def facebook_snapshots(small_facebook):
+    """Snapshot sequence of the small facebook trace (about 12 snapshots)."""
+    delta = max(30, small_facebook.num_edges // 12)
+    return snapshot_sequence(small_facebook, delta, start=small_facebook.num_edges // 3)

@@ -1,0 +1,83 @@
+"""Tests for the cached classification fast-paths."""
+
+import numpy as np
+import pytest
+
+from repro.classify import ClassificationPredictor, FeatureExtractor
+from repro.classify.sampling import undersample_indices
+from repro.metrics.candidates import all_nonedge_pairs
+
+
+class TestComputeForCandidates:
+    def test_matches_direct_compute(self, facebook_snapshots):
+        s = facebook_snapshots[0]
+        extractor = FeatureExtractor(("CN", "RA", "PA"))
+        pairs, features = extractor.compute_for_candidates(s)
+        direct = extractor.compute(s, all_nonedge_pairs(s))
+        assert np.array_equal(features, direct)
+        assert np.array_equal(pairs, all_nonedge_pairs(s))
+
+    def test_cached_identity(self, facebook_snapshots):
+        s = facebook_snapshots[0]
+        extractor = FeatureExtractor(("CN", "RA"))
+        _, a = extractor.compute_for_candidates(s)
+        _, b = extractor.compute_for_candidates(s)
+        assert a is b
+
+    def test_different_feature_sets_cached_separately(self, facebook_snapshots):
+        s = facebook_snapshots[0]
+        _, a = FeatureExtractor(("CN",)).compute_for_candidates(s)
+        _, b = FeatureExtractor(("CN", "PA")).compute_for_candidates(s)
+        assert a.shape[1] == 1
+        assert b.shape[1] == 2
+
+
+class TestUndersampleIndices:
+    def test_index_form_matches_pair_form(self):
+        from repro.classify.sampling import undersample
+
+        pairs = np.arange(400).reshape(-1, 2)
+        labels = np.concatenate([np.ones(10, int), np.zeros(190, int)])
+        idx = undersample_indices(labels, theta=1 / 5, rng=3)
+        p1, l1 = pairs[idx], labels[idx]
+        p2, l2 = undersample(pairs, labels, theta=1 / 5, rng=3)
+        assert np.array_equal(p1, p2)
+        assert np.array_equal(l1, l2)
+
+    def test_all_positives_kept(self):
+        labels = np.concatenate([np.ones(7, int), np.zeros(500, int)])
+        idx = undersample_indices(labels, theta=1 / 10, rng=0)
+        assert labels[idx].sum() == 7
+        assert (labels[idx] == 0).sum() == 70
+
+    def test_requires_positive(self):
+        with pytest.raises(ValueError):
+            undersample_indices(np.zeros(10, int), theta=1.0)
+
+
+class TestPredictorCachedPath:
+    def test_two_trainings_share_features(self, facebook_snapshots):
+        """Training twice on the same view computes features once."""
+        g2, g1 = facebook_snapshots[-3], facebook_snapshots[-2]
+        a = ClassificationPredictor("NB", theta=1 / 10, seed=0)
+        a.train(g2, g1)
+        cache_size = len(g2.cache)
+        b = ClassificationPredictor("NB", theta=1 / 20, seed=1)
+        b.train(g2, g1)
+        assert len(g2.cache) == cache_size  # nothing new computed
+
+    def test_filtered_prediction_consistent(self, facebook_snapshots):
+        from repro.graph.snapshots import new_edges_between
+
+        g2, g1, g0 = facebook_snapshots[-3:]
+        truth = {
+            p for p in new_edges_between(g1, g0)
+        }
+        predictor = ClassificationPredictor("NB", theta=1 / 10, seed=0)
+        predictor.train(g2, g1)
+
+        def keep_half(snapshot, pairs):
+            return np.arange(len(pairs)) % 2 == 0
+
+        result = predictor.predict_step(g1, truth, rng=0, pair_filter=keep_half)
+        assert result.outcome.k == len(truth)

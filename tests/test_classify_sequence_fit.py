@@ -1,0 +1,115 @@
+"""Tests for sequence-level classifier evaluation and generator fitting."""
+
+import numpy as np
+import pytest
+
+from repro.classify.sequence import (
+    classifier_steps,
+    compare_classifiers_on_sequence,
+    evaluate_classifier_sequence,
+)
+from repro.generators.base import generate_trace
+from repro.generators.fit import fit_growth_config, measure_mechanisms
+from repro.generators.presets import facebook_like, youtube_like
+from repro.graph.snapshots import new_edges_between
+
+
+class TestClassifierSequence:
+    def test_steps_are_consecutive_triples(self, facebook_snapshots):
+        steps = list(classifier_steps(facebook_snapshots))
+        assert len(steps) == len(facebook_snapshots) - 2
+        for (g2, g1, truth), s2, s1, s0 in zip(
+            steps, facebook_snapshots, facebook_snapshots[1:], facebook_snapshots[2:]
+        ):
+            assert g2 is s2 and g1 is s1
+            assert truth == new_edges_between(s1, s0)
+
+    def test_sequence_results_per_step(self, facebook_snapshots):
+        results = evaluate_classifier_sequence(
+            "NB", facebook_snapshots[-5:], theta=1 / 10, seed=0
+        )
+        assert 1 <= len(results) <= 3
+        for r in results:
+            assert r.metric == "NB"
+            assert r.outcome.k > 0
+
+    def test_max_steps(self, facebook_snapshots):
+        results = evaluate_classifier_sequence(
+            "NB", facebook_snapshots, theta=1 / 10, seed=0, max_steps=2
+        )
+        assert len(results) <= 2
+
+    def test_compare_returns_all(self, facebook_snapshots):
+        out = compare_classifiers_on_sequence(
+            ("NB", "LR"), facebook_snapshots[-5:], theta=1 / 10, max_steps=2
+        )
+        assert set(out) == {"NB", "LR"}
+        assert all(v >= 0 for v in out.values())
+
+    def test_deterministic(self, facebook_snapshots):
+        a = evaluate_classifier_sequence(
+            "NB", facebook_snapshots[-5:], theta=1 / 10, seed=4
+        )
+        b = evaluate_classifier_sequence(
+            "NB", facebook_snapshots[-5:], theta=1 / 10, seed=4
+        )
+        assert [r.outcome.hits for r in a] == [r.outcome.hits for r in b]
+
+
+class TestMeasureMechanisms:
+    def test_reports_shares_in_unit_interval(self, small_facebook):
+        m = measure_mechanisms(small_facebook)
+        for key in ("triadic_share", "newcomer_share"):
+            assert 0.0 <= m[key] <= 1.0
+
+    def test_friendship_more_triadic_than_subscription(self):
+        fb = facebook_like(scale=0.25, seed=4)
+        yt = youtube_like(scale=0.25, seed=4)
+        assert (
+            measure_mechanisms(fb)["triadic_share"]
+            > measure_mechanisms(yt)["triadic_share"]
+        )
+
+    def test_short_trace_rejected(self, triangle_plus_trace):
+        with pytest.raises(ValueError, match="too short"):
+            measure_mechanisms(triangle_plus_trace)
+
+
+class TestFitGrowthConfig:
+    def test_fitted_config_is_valid(self, small_facebook):
+        config = fit_growth_config(small_facebook)
+        config.validate()
+        assert config.total_edges == small_facebook.num_edges
+        assert config.total_nodes >= config.n_seed
+
+    def test_fitted_config_generates(self, small_facebook):
+        config = fit_growth_config(small_facebook)
+        synthetic = generate_trace(config, seed=0)
+        assert synthetic.num_edges == small_facebook.num_edges
+
+    def test_fit_recovers_triadic_regime(self):
+        """Fitting a high-triadic trace yields a high triadic share; a
+        low-triadic one yields a low share."""
+        fb = facebook_like(scale=0.25, seed=8)
+        yt = youtube_like(scale=0.25, seed=8)
+        fb_fit = fit_growth_config(fb)
+        yt_fit = fit_growth_config(yt)
+        fb_peak = max(fb_fit.triadic_prob, fb_fit.triadic_prob_final or 0)
+        yt_peak = max(yt_fit.triadic_prob, yt_fit.triadic_prob_final or 0)
+        assert fb_peak > yt_peak
+
+    def test_fit_detects_assortative_regime(self):
+        fb_fit = fit_growth_config(facebook_like(scale=0.25, seed=8))
+        yt_fit = fit_growth_config(youtube_like(scale=0.25, seed=8))
+        assert fb_fit.assortative_matching > 0
+        assert yt_fit.assortative_matching == 0.0
+
+    def test_round_trip_structure(self):
+        """Generating from a fitted config lands in the original's
+        structural neighbourhood (triadic share within ~0.2)."""
+        original = facebook_like(scale=0.25, seed=12)
+        config = fit_growth_config(original)
+        synthetic = generate_trace(config, seed=1)
+        share_original = measure_mechanisms(original)["triadic_share"]
+        share_synthetic = measure_mechanisms(synthetic)["triadic_share"]
+        assert abs(share_original - share_synthetic) < 0.25

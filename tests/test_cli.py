@@ -1,0 +1,79 @@
+"""Tests for the command-line interface (python -m repro)."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_args(self):
+        args = build_parser().parse_args(
+            ["generate", "--dataset", "youtube", "--out", "x.txt"]
+        )
+        assert args.dataset == "youtube"
+        assert args.out == "x.txt"
+
+    def test_unknown_metric_rejected_by_argparse(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["evaluate", "--metric", "NOPE"])
+
+
+class TestCommands:
+    def test_generate_then_evaluate(self, tmp_path, capsys):
+        out = tmp_path / "trace.txt"
+        assert main(
+            ["generate", "--dataset", "facebook", "--scale", "0.1", "--out", str(out)]
+        ) == 0
+        assert out.exists()
+        assert main(["evaluate", "--trace", str(out), "--metric", "CN"]) == 0
+        captured = capsys.readouterr().out
+        assert "mean accuracy ratio" in captured
+
+    def test_evaluate_verbose_lists_steps(self, capsys):
+        assert main(
+            [
+                "evaluate",
+                "--dataset",
+                "facebook",
+                "--scale",
+                "0.1",
+                "--metric",
+                "RA",
+                "-v",
+            ]
+        ) == 0
+        assert "step" in capsys.readouterr().out
+
+    def test_compare_ranks_metrics(self, capsys):
+        assert main(
+            [
+                "compare",
+                "--dataset",
+                "facebook",
+                "--scale",
+                "0.1",
+                "--metrics",
+                "CN,PA",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "CN" in out and "PA" in out
+
+    def test_compare_unknown_metric_errors(self, capsys):
+        assert main(
+            ["compare", "--dataset", "facebook", "--scale", "0.1", "--metrics", "XX"]
+        ) == 2
+
+    def test_suggest_prints_pairs(self, capsys):
+        assert main(
+            ["suggest", "--dataset", "facebook", "--scale", "0.1", "-k", "4"]
+        ) == 0
+        lines = [l for l in capsys.readouterr().out.splitlines() if l.strip()]
+        assert len(lines) == 4
+        for line in lines:
+            u, v = line.split()
+            assert int(u) != int(v)

@@ -1,0 +1,92 @@
+"""Tests for the high-level facade (repro.core.api)."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro import LinkPredictor, available_classifiers, available_metrics
+from repro.temporal import FilterParams, TemporalFilter
+
+
+class TestDiscovery:
+    def test_available_metrics(self):
+        names = available_metrics()
+        assert "RA" in names and "Rescal" in names
+        assert len(names) == 15
+
+    def test_available_classifiers(self):
+        names = available_classifiers()
+        # The paper's four, plus the boosted ensembles used for its
+        # "larger ensembles don't help" negative result.
+        assert {"LR", "NB", "RF", "SVM"} <= set(names)
+        assert {"AdaBoost", "GBT"} <= set(names)
+
+    def test_package_exports(self):
+        assert repro.__version__
+        assert hasattr(repro, "datasets")
+        assert hasattr(repro, "TemporalGraph")
+
+
+class TestLinkPredictor:
+    def test_invalid_metric_rejected_eagerly(self):
+        with pytest.raises(KeyError):
+            LinkPredictor(metric="NOPE")
+
+    def test_suggest_returns_k_nonedges(self, facebook_snapshots):
+        s = facebook_snapshots[-1]
+        predictor = LinkPredictor(metric="RA", seed=0)
+        suggestions = predictor.suggest(s, 10)
+        assert len(suggestions) == 10
+        for u, v in suggestions:
+            assert not s.has_edge(u, v)
+
+    def test_suggest_k_zero(self, facebook_snapshots):
+        assert LinkPredictor(seed=0).suggest(facebook_snapshots[-1], 0) == []
+
+    def test_suggest_negative_k(self, facebook_snapshots):
+        with pytest.raises(ValueError):
+            LinkPredictor(seed=0).suggest(facebook_snapshots[-1], -1)
+
+    def test_suggest_with_filter(self, facebook_snapshots):
+        s = facebook_snapshots[-1]
+        filt = TemporalFilter(
+            FilterParams(d_act=5, d_inact=20, window=10, min_new_edges=0, d_cn=20)
+        )
+        predictor = LinkPredictor(metric="RA", pair_filter=filt, seed=0)
+        suggestions = predictor.suggest(s, 5)
+        assert len(suggestions) <= 5
+
+    def test_evaluate_sequence(self, small_facebook):
+        predictor = LinkPredictor(metric="BRA", seed=0)
+        result = predictor.evaluate_sequence(
+            small_facebook, delta=small_facebook.num_edges // 10
+        )
+        assert result.method == "BRA"
+        assert len(result.steps) > 1
+        assert result.mean_ratio >= 0
+        assert "BRA" in result.summary()
+
+    def test_evaluate_sequence_max_steps(self, small_facebook):
+        predictor = LinkPredictor(metric="CN", seed=0)
+        result = predictor.evaluate_sequence(
+            small_facebook, delta=small_facebook.num_edges // 10, max_steps=2
+        )
+        assert len(result.steps) == 2
+
+    def test_repr(self):
+        assert "RA" in repr(LinkPredictor(metric="RA"))
+
+    def test_deterministic_suggestions(self, facebook_snapshots):
+        s = facebook_snapshots[-1]
+        a = LinkPredictor(metric="CN", seed=3).suggest(s, 8)
+        b = LinkPredictor(metric="CN", seed=3).suggest(s, 8)
+        assert a == b
+
+
+class TestSequenceResult:
+    def test_summary_empty(self):
+        from repro.core.api import SequenceResult
+
+        result = SequenceResult(method="CN")
+        assert result.mean_ratio == 0.0
+        assert result.best_absolute == 0.0

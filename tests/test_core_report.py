@@ -1,0 +1,74 @@
+"""Tests for the markdown report builder."""
+
+import pytest
+
+from repro.core.report import build_report
+from repro.generators import presets
+
+
+@pytest.fixture(scope="module")
+def report_text():
+    trace = presets.facebook_like(scale=0.2, seed=5)
+    return build_report(trace, metrics=("CN", "RA", "PA"), seed=0, name="unit")
+
+
+class TestBuildReport:
+    def test_contains_all_sections(self, report_text):
+        for heading in (
+            "# Link prediction report: unit",
+            "## Trace",
+            "## Structure",
+            "## Metric comparison",
+        ):
+            assert heading in report_text
+
+    def test_metric_table_rows(self, report_text):
+        for metric in ("CN", "RA", "PA"):
+            assert f"| {metric} |" in report_text
+
+    def test_table_is_ranked(self, report_text):
+        rows = [
+            line for line in report_text.splitlines()
+            if line.startswith("| ") and "x |" in line
+        ]
+        ratios = [float(r.split("|")[2].strip().rstrip("x")) for r in rows]
+        assert ratios == sorted(ratios, reverse=True)
+
+    def test_filter_section_present_or_flagged(self, report_text):
+        assert "Temporal filter" in report_text
+
+    def test_too_short_trace_rejected(self):
+        trace = presets.facebook_like(scale=0.05, seed=1)
+        with pytest.raises(ValueError, match="too short"):
+            build_report(trace, delta=trace.num_edges)
+
+    def test_deterministic(self):
+        trace = presets.facebook_like(scale=0.2, seed=5)
+        a = build_report(trace, metrics=("CN",), seed=3)
+        b = build_report(trace, metrics=("CN",), seed=3)
+        assert a == b
+
+
+class TestCollectBenchmarkResults:
+    def test_assembles_files(self, tmp_path):
+        from repro.core.report import collect_benchmark_results
+
+        (tmp_path / "table2.txt").write_text("row one\nrow two\n")
+        (tmp_path / "fig5.txt").write_text("series\n")
+        doc = collect_benchmark_results(tmp_path)
+        assert "## fig5" in doc and "## table2" in doc
+        assert "row one" in doc
+        # Sorted by name: fig5 before table2.
+        assert doc.index("## fig5") < doc.index("## table2")
+
+    def test_missing_directory(self, tmp_path):
+        from repro.core.report import collect_benchmark_results
+
+        with pytest.raises(FileNotFoundError):
+            collect_benchmark_results(tmp_path / "nope")
+
+    def test_empty_directory(self, tmp_path):
+        from repro.core.report import collect_benchmark_results
+
+        with pytest.raises(FileNotFoundError):
+            collect_benchmark_results(tmp_path)

@@ -1,0 +1,151 @@
+"""Tests for the Section 4.3 meta-classifier and the lambda_2 correlation."""
+
+import numpy as np
+import pytest
+
+from repro.eval.correlation import lambda2_correlations, pearson, two_hop_edge_ratio
+from repro.eval.meta import (
+    FEATURE_NAMES,
+    SnapshotRecord,
+    fit_choice_tree,
+    fit_suitability_tree,
+    suitability_rules,
+)
+from repro.graph.stats import GraphFeatures
+
+
+def make_record(network, degree_std, median, winner_ratios):
+    features = GraphFeatures(
+        num_nodes=1000,
+        num_edges=5000,
+        avg_degree=10.0,
+        degree_std=degree_std,
+        degree_p50=median,
+        degree_p90=30.0,
+        degree_p99=80.0,
+        clustering=0.2,
+        avg_path_length=3.0,
+        assortativity=0.1,
+    )
+    return SnapshotRecord(network=network, features=features, ratios=winner_ratios)
+
+
+@pytest.fixture
+def records():
+    """Synthetic records reproducing the paper's regimes: high degree-std
+    snapshots favour Rescal, high-median ones favour BRA, the rest Katz."""
+    out = []
+    for i in range(8):
+        out.append(
+            make_record("yt", 80 + i, 3, {"Rescal": 10.0, "BRA": 2.0, "Katz_lr": 1.0})
+        )
+        out.append(
+            make_record("rr", 30 + i, 12, {"Rescal": 2.0, "BRA": 10.0, "Katz_lr": 1.0})
+        )
+        out.append(
+            make_record("fb", 20 + i, 5, {"Rescal": 1.0, "BRA": 2.0, "Katz_lr": 10.0})
+        )
+    return out
+
+
+class TestChoiceTree:
+    def test_learns_winners(self, records):
+        tree, class_names = fit_choice_tree(records, max_depth=3)
+        x = np.vstack([r.features.as_array() for r in records])
+        predicted = tree.predict(x)
+        truth = [class_names.index(r.winner) for r in records]
+        assert np.mean(predicted == truth) == 1.0
+
+    def test_export_uses_feature_names(self, records):
+        tree, class_names = fit_choice_tree(records)
+        text = tree.export_text(list(FEATURE_NAMES), class_names)
+        assert "degree_std" in text or "degree_p50" in text
+
+    def test_empty_records_rejected(self):
+        with pytest.raises(ValueError):
+            fit_choice_tree([])
+
+
+class TestSuitabilityTrees:
+    def test_binary_tree_learns_threshold(self, records):
+        tree = fit_suitability_tree(records, "Rescal")
+        assert tree is not None
+        x = np.vstack([r.features.as_array() for r in records])
+        best = np.asarray([max(r.ratios.values()) for r in records])
+        y = np.asarray(
+            [1 if r.ratios["Rescal"] >= 0.9 * b else 0 for r, b in zip(records, best)]
+        )
+        assert np.mean(tree.predict(x) == y) == 1.0
+
+    def test_one_sided_labels_return_none(self, records):
+        # An algorithm never within 90% of optimum yields one-sided labels.
+        for r in records:
+            r.ratios["Loser"] = 0.01
+        assert fit_suitability_tree(records, "Loser") is None
+
+    def test_rules_dict(self, records):
+        rules = suitability_rules(records, ["Rescal", "BRA", "Katz_lr"])
+        assert set(rules) == {"Rescal", "BRA", "Katz_lr"}
+        for text in rules.values():
+            assert "good" in text
+
+    def test_bad_fraction(self, records):
+        with pytest.raises(ValueError):
+            fit_suitability_tree(records, "Rescal", good_fraction=1.5)
+
+
+class TestPearson:
+    def test_perfect_correlation(self):
+        assert pearson([1, 2, 3], [2, 4, 6]) == pytest.approx(1.0)
+
+    def test_perfect_anticorrelation(self):
+        assert pearson([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_constant_series_is_zero(self):
+        assert pearson([1, 1, 1], [1, 2, 3]) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            pearson([1], [1])
+        with pytest.raises(ValueError):
+            pearson([1, 2], [1, 2, 3])
+
+
+class TestTwoHopEdgeRatio:
+    def test_counts_truth_among_two_hop(self, tiny_snapshot):
+        from repro.metrics.candidates import two_hop_pairs
+
+        pairs = two_hop_pairs(tiny_snapshot)
+        truth = {tuple(int(x) for x in pairs[0]), (98, 99)}
+        ratio = two_hop_edge_ratio(tiny_snapshot, truth)
+        assert ratio == pytest.approx(1 / len(pairs))
+
+    def test_rises_with_densification(self, facebook_snapshots):
+        """lambda_2 on the friendship preset should be well above zero."""
+        from repro.eval.experiment import prediction_steps
+
+        values = [
+            two_hop_edge_ratio(prev, truth)
+            for prev, _, truth in prediction_steps(facebook_snapshots)
+        ]
+        assert all(v >= 0 for v in values)
+        assert max(values) > 0
+
+
+class TestLambda2Correlations:
+    def test_top_n_selection(self):
+        lam = [0.1, 0.2, 0.3, 0.4]
+        series = {
+            "good": [1.0, 2.0, 3.0, 4.0],     # corr +1, mean 2.5
+            "weak": [0.1, 0.1, 0.1, 0.12],    # low mean
+            "anti": [4.0, 3.0, 2.0, 1.0],     # corr -1, mean 2.5
+        }
+        avg, per_metric = lambda2_correlations(lam, series, top_n=2)
+        assert per_metric["good"] == pytest.approx(1.0)
+        assert per_metric["anti"] == pytest.approx(-1.0)
+        # Top-2 by mean ratio are good and anti -> average 0.
+        assert avg == pytest.approx(0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            lambda2_correlations([0.1, 0.2], {"a": [1, 2]}, top_n=0)

@@ -1,0 +1,104 @@
+"""Tests for missing-link detection and AUC-mode evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.eval.aucmode import auc_ranking, metric_auc
+from repro.eval.experiment import prediction_steps
+from repro.eval.missing import detect_missing_links, hide_edges, missing_vs_future
+from repro.graph.snapshots import Snapshot
+
+
+class TestHideEdges:
+    def test_hides_requested_fraction(self, facebook_snapshots):
+        s = facebook_snapshots[-1]
+        observed, hidden = hide_edges(s, 0.1, rng=0)
+        assert len(hidden) == round(0.1 * s.num_edges)
+        assert observed.num_edges == s.num_edges - len(hidden)
+
+    def test_hidden_edges_absent_from_observed(self, facebook_snapshots):
+        s = facebook_snapshots[-1]
+        observed, hidden = hide_edges(s, 0.15, rng=1)
+        for u, v in hidden:
+            assert s.has_edge(u, v)
+            assert not observed.has_edge(u, v)
+
+    def test_observed_nodes_subset(self, facebook_snapshots):
+        """Hiding edges never invents nodes; isolated nodes drop out."""
+        s = facebook_snapshots[-1]
+        observed, _ = hide_edges(s, 0.3, rng=2)
+        assert set(observed.nodes()) <= set(s.nodes())
+        # The bulk of the graph survives a 30% removal.
+        assert observed.num_nodes >= 0.7 * s.num_nodes
+
+    def test_timestamps_preserved_for_kept_edges(self, tiny_snapshot):
+        observed, hidden = hide_edges(tiny_snapshot, 0.2, rng=0)
+        for u, v, t in observed.trace.edges():
+            assert tiny_snapshot.trace.edge_time(u, v) == t
+
+    def test_fraction_validation(self, tiny_snapshot):
+        with pytest.raises(ValueError):
+            hide_edges(tiny_snapshot, 0.0)
+        with pytest.raises(ValueError):
+            hide_edges(tiny_snapshot, 1.0)
+
+    def test_deterministic(self, facebook_snapshots):
+        s = facebook_snapshots[-1]
+        _, h1 = hide_edges(s, 0.1, rng=7)
+        _, h2 = hide_edges(s, 0.1, rng=7)
+        assert h1 == h2
+
+
+class TestDetectMissingLinks:
+    def test_recovers_better_than_random(self, facebook_snapshots):
+        s = facebook_snapshots[-1]
+        observed, hidden = hide_edges(s, 0.1, rng=0)
+        outcome = detect_missing_links("RA", observed, hidden, rng=0)
+        assert outcome.k == len(hidden)
+        assert outcome.ratio > 1.0
+
+    def test_missing_task_easier_than_future(self, facebook_snapshots):
+        """The classic effect the paper's protocol choice guards against."""
+        steps = list(prediction_steps(facebook_snapshots))
+        prev, _, truth = steps[-1]
+        ratios_missing, ratios_future = [], []
+        for seed in range(3):
+            m, f = missing_vs_future("RA", prev, truth, rng=seed)
+            ratios_missing.append(m)
+            ratios_future.append(f)
+        assert np.mean(ratios_missing) > np.mean(ratios_future)
+
+
+class TestMetricAuc:
+    def test_auc_in_unit_interval(self, facebook_snapshots):
+        steps = list(prediction_steps(facebook_snapshots))
+        prev, _, truth = steps[-1]
+        auc = metric_auc("RA", prev, truth, rng=0)
+        assert 0.0 <= auc <= 1.0
+
+    def test_good_metric_beats_chance(self, facebook_snapshots):
+        steps = list(prediction_steps(facebook_snapshots))
+        prev, _, truth = steps[-1]
+        assert metric_auc("RA", prev, truth, rng=0) > 0.5
+
+    def test_no_positive_candidates_gives_half(self, facebook_snapshots):
+        steps = list(prediction_steps(facebook_snapshots))
+        prev, _, _ = steps[-1]
+        assert metric_auc("RA", prev, set(), rng=0) == 0.5
+
+    def test_sp_handles_disconnected_scores(self):
+        from tests.conftest import build_trace
+
+        trace = build_trace(
+            [(0, 1, 0.0), (1, 2, 1.0), (3, 4, 2.0), (4, 5, 3.0), (0, 2, 4.0)]
+        )
+        s = Snapshot(trace, trace.num_edges)
+        truth = {(3, 5)}
+        auc = metric_auc("SP", s, truth, rng=0)
+        assert 0.0 <= auc <= 1.0
+
+    def test_ranking_returns_all_metrics(self, facebook_snapshots):
+        steps = list(prediction_steps(facebook_snapshots))
+        prev, _, truth = steps[-1]
+        out = auc_ranking(("CN", "RA", "PA"), prev, truth, rng=0)
+        assert set(out) == {"CN", "RA", "PA"}

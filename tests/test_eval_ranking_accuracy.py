@@ -1,0 +1,113 @@
+"""Tests for top-k ranking and accuracy accounting."""
+
+import numpy as np
+import pytest
+
+from repro.eval.accuracy import (
+    StepOutcome,
+    absolute_accuracy,
+    accuracy_ratio,
+    expected_random_hits,
+    score_prediction,
+)
+from repro.eval.ranking import top_k_pairs
+from repro.metrics.candidates import num_nonedge_pairs
+
+
+class TestTopKPairs:
+    def test_picks_highest_scores(self):
+        pairs = np.asarray([[0, 1], [0, 2], [0, 3], [0, 4]])
+        scores = np.asarray([0.1, 0.9, 0.5, 0.7])
+        top = top_k_pairs(pairs, scores, 2, rng=0)
+        assert {tuple(p) for p in top} == {(0, 2), (0, 4)}
+
+    def test_k_larger_than_input_returns_all(self):
+        pairs = np.asarray([[0, 1], [0, 2]])
+        top = top_k_pairs(pairs, np.asarray([1.0, 2.0]), 10, rng=0)
+        assert len(top) == 2
+
+    def test_k_zero(self):
+        pairs = np.asarray([[0, 1]])
+        assert len(top_k_pairs(pairs, np.asarray([1.0]), 0, rng=0)) == 0
+
+    def test_tie_breaking_is_random(self):
+        pairs = np.asarray([[0, i] for i in range(1, 101)])
+        scores = np.ones(100)
+        a = {tuple(p) for p in top_k_pairs(pairs, scores, 10, rng=1)}
+        b = {tuple(p) for p in top_k_pairs(pairs, scores, 10, rng=2)}
+        assert a != b  # overwhelmingly likely
+
+    def test_ties_do_not_displace_strictly_better(self):
+        pairs = np.asarray([[0, 1], [0, 2], [0, 3], [0, 4]])
+        scores = np.asarray([5.0, 1.0, 1.0, 1.0])
+        for seed in range(5):
+            top = top_k_pairs(pairs, scores, 2, rng=seed)
+            assert (0, 1) in {tuple(p) for p in top}
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            top_k_pairs(np.asarray([[0, 1]]), np.asarray([1.0, 2.0]), 1)
+
+    def test_deterministic_given_seed(self):
+        pairs = np.asarray([[0, i] for i in range(1, 51)])
+        scores = np.ones(50)
+        a = top_k_pairs(pairs, scores, 5, rng=7).tolist()
+        b = top_k_pairs(pairs, scores, 5, rng=7).tolist()
+        assert a == b
+
+
+class TestExpectedRandomHits:
+    def test_formula(self, tiny_snapshot):
+        m = num_nonedge_pairs(tiny_snapshot)
+        assert expected_random_hits(tiny_snapshot, 4) == pytest.approx(16 / m)
+
+    def test_truth_size_override(self, tiny_snapshot):
+        m = num_nonedge_pairs(tiny_snapshot)
+        assert expected_random_hits(tiny_snapshot, 4, truth_size=2) == pytest.approx(
+            8 / m
+        )
+
+    def test_negative_k_rejected(self, tiny_snapshot):
+        with pytest.raises(ValueError):
+            expected_random_hits(tiny_snapshot, -1)
+
+    def test_monte_carlo_agreement(self, tiny_snapshot):
+        """The analytic expectation matches simulated random prediction."""
+        from repro.metrics.candidates import all_nonedge_pairs, random_nonedge_pairs
+
+        rng = np.random.default_rng(0)
+        nonedges = [tuple(p) for p in all_nonedge_pairs(tiny_snapshot)]
+        truth = set(nonedges[:5])
+        k = 5
+        trials = 3000
+        hits = sum(
+            len(set(random_nonedge_pairs(tiny_snapshot, k, rng)) & truth)
+            for _ in range(trials)
+        )
+        analytic = expected_random_hits(tiny_snapshot, k, truth_size=len(truth))
+        assert hits / trials == pytest.approx(analytic, rel=0.15)
+
+
+class TestAccuracyHelpers:
+    def test_absolute(self):
+        assert absolute_accuracy(3, 10) == 0.3
+        assert absolute_accuracy(0, 0) == 0.0
+
+    def test_ratio(self):
+        assert accuracy_ratio(4, 2.0) == 2.0
+        assert accuracy_ratio(4, 0.0) == 0.0
+
+    def test_score_prediction(self, tiny_snapshot):
+        truth = {(0, 4), (0, 5), (1, 7)}
+        predicted = {(0, 4), (2, 7), (1, 7)}
+        outcome = score_prediction(tiny_snapshot, predicted, truth)
+        assert outcome.hits == 2
+        assert outcome.k == 3
+        assert outcome.correct == {(0, 4), (1, 7)}
+        assert outcome.absolute == pytest.approx(2 / 3)
+        assert outcome.ratio == outcome.hits / outcome.expected_random
+
+    def test_outcome_properties(self):
+        outcome = StepOutcome(k=10, hits=5, expected_random=0.5, correct=set())
+        assert outcome.absolute == 0.5
+        assert outcome.ratio == 10.0

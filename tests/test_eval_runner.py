@@ -1,0 +1,115 @@
+"""Tests for the declarative experiment runner."""
+
+import json
+
+import pytest
+
+from repro.eval.runner import (
+    ExperimentResult,
+    ExperimentSpec,
+    MetricSeries,
+    run_experiment,
+)
+
+
+def small_spec(**overrides) -> ExperimentSpec:
+    base = dict(
+        name="unit",
+        dataset="facebook",
+        scale=0.15,
+        generation_seed=3,
+        metrics=("CN", "PA"),
+        repeats=2,
+        max_steps=3,
+    )
+    base.update(overrides)
+    return ExperimentSpec(**base)
+
+
+class TestSpec:
+    def test_round_trip_json(self):
+        spec = small_spec()
+        loaded = ExperimentSpec.from_json(spec.to_json())
+        assert loaded == spec
+
+    def test_load_from_file(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(small_spec().to_json())
+        assert ExperimentSpec.load(path) == small_spec()
+
+    def test_validation_unknown_metric(self):
+        with pytest.raises(ValueError, match="unknown metrics"):
+            small_spec(metrics=("CN", "WAT")).validate()
+
+    def test_validation_repeats(self):
+        with pytest.raises(ValueError, match="repeats"):
+            small_spec(repeats=0).validate()
+
+    def test_from_json_validates(self):
+        bad = json.dumps({"metrics": ["NOPE"]})
+        with pytest.raises(ValueError):
+            ExperimentSpec.from_json(bad)
+
+
+class TestRunExperiment:
+    @pytest.fixture(scope="class")
+    def result(self) -> ExperimentResult:
+        return run_experiment(small_spec())
+
+    def test_series_per_metric(self, result):
+        assert set(result.series) == {"CN", "PA"}
+        for series in result.series.values():
+            assert len(series.ratios) == result.steps_evaluated == 3
+            assert len(series.absolutes) == 3
+
+    def test_ranking_sorted(self, result):
+        ranking = result.ranking()
+        means = [result.series[m].mean_ratio for m in ranking]
+        assert means == sorted(means, reverse=True)
+
+    def test_summary_table_contains_metrics(self, result):
+        table = result.summary_table()
+        assert "CN" in table and "PA" in table
+
+    def test_result_round_trip(self, result, tmp_path):
+        path = tmp_path / "result.json"
+        result.save(path)
+        loaded = ExperimentResult.from_json(path.read_text())
+        assert loaded.spec == result.spec
+        assert loaded.steps_evaluated == result.steps_evaluated
+        for name in result.series:
+            assert loaded.series[name].ratios == result.series[name].ratios
+
+    def test_with_filter_populates_filtered_series(self):
+        result = run_experiment(small_spec(with_filter=True, metrics=("RA",)))
+        series = result.series["RA"]
+        assert series.filtered_ratios is not None
+        assert len(series.filtered_ratios) == result.steps_evaluated
+        assert series.mean_filtered_ratio is not None
+
+    def test_deterministic(self):
+        a = run_experiment(small_spec())
+        b = run_experiment(small_spec())
+        assert a.to_json() == b.to_json()
+
+    def test_trace_file_dataset(self, tmp_path):
+        from repro.generators import presets
+        from repro.graph.io import write_trace
+
+        path = tmp_path / "trace.txt"
+        write_trace(presets.facebook_like(scale=0.15, seed=1), path)
+        result = run_experiment(
+            small_spec(dataset=str(path), metrics=("CN",), max_steps=2)
+        )
+        assert result.steps_evaluated == 2
+
+    def test_degenerate_spec_rejected(self):
+        with pytest.raises(ValueError, match="no prediction steps"):
+            run_experiment(small_spec(delta=10**9))
+
+
+class TestMetricSeries:
+    def test_empty_series_means(self):
+        series = MetricSeries(metric="CN")
+        assert series.mean_ratio == 0.0
+        assert series.mean_filtered_ratio is None

@@ -1,0 +1,161 @@
+"""Tests for the directed link prediction extension."""
+
+import numpy as np
+import pytest
+
+from repro.extensions.directed import (
+    DirectedPreferentialAttachment,
+    DirectedView,
+    SharedFollowees,
+    SharedFollowers,
+    TransitivePaths,
+    generate_directed_trace,
+)
+from repro.generators.subscription import subscription_config
+from repro.graph.snapshots import Snapshot
+from tests.conftest import build_trace
+
+
+@pytest.fixture
+def fan_graph():
+    """Hand-built directed structure.
+
+    Directions: 0->1, 0->2, 3->1, 3->2, 1->4, 2->4.
+    (0 and 3 both follow 1 and 2; both 1 and 2 point at 4.)
+    """
+    trace = build_trace(
+        [
+            (0, 1, 0.0),
+            (0, 2, 1.0),
+            (1, 3, 2.0),
+            (2, 3, 3.0),
+            (1, 4, 4.0),
+            (2, 4, 5.0),
+        ]
+    )
+    snapshot = Snapshot(trace, trace.num_edges)
+    directions = {
+        (0, 1): (0, 1),
+        (0, 2): (0, 2),
+        (1, 3): (3, 1),
+        (2, 3): (3, 2),
+        (1, 4): (1, 4),
+        (2, 4): (2, 4),
+    }
+    return snapshot, directions
+
+
+class TestDirectedView:
+    def test_degrees(self, fan_graph):
+        snapshot, directions = fan_graph
+        dv = DirectedView(snapshot, directions)
+        assert dv.out_degree(0) == 2
+        assert dv.in_degree(0) == 0
+        assert dv.in_degree(4) == 2
+        assert dv.out_degree(4) == 0
+        assert dv.in_degree(1) == 2  # from 0 and 3
+        assert dv.out_degree(1) == 1  # to 4
+
+    def test_degree_arrays_align(self, fan_graph):
+        snapshot, directions = fan_graph
+        dv = DirectedView(snapshot, directions)
+        for node in snapshot.nodes():
+            idx = snapshot.node_pos[node]
+            assert dv.out_degrees[idx] == dv.out_degree(node)
+            assert dv.in_degrees[idx] == dv.in_degree(node)
+
+    def test_mismatched_direction_rejected(self, fan_graph):
+        snapshot, directions = fan_graph
+        bad = dict(directions)
+        bad[(0, 1)] = (0, 9)
+        with pytest.raises(ValueError, match="does not match"):
+            DirectedView(snapshot, bad)
+
+    def test_default_orientation_for_missing_pairs(self, fan_graph):
+        snapshot, _ = fan_graph
+        dv = DirectedView(snapshot, {})
+        # Canonical orientation u -> v for every pair.
+        assert dv.out_degree(0) == 2
+        assert dv.in_degree(4) == 2
+
+    def test_first_creation_reciprocity_zero(self, fan_graph):
+        snapshot, directions = fan_graph
+        assert DirectedView(snapshot, directions).reciprocity() == 0.0
+
+
+class TestDirectedMetrics:
+    def test_shared_followees(self, fan_graph):
+        snapshot, directions = fan_graph
+        metric = SharedFollowees(directions).fit(snapshot)
+        # out(0) = {1,2}, out(3) = {1,2}: overlap 2.
+        assert metric.score(np.asarray([[0, 3]]))[0] == 2.0
+
+    def test_shared_followers(self, fan_graph):
+        snapshot, directions = fan_graph
+        metric = SharedFollowers(directions).fit(snapshot)
+        # in(1) = {0,3}, in(2) = {0,3}: overlap 2.
+        assert metric.score(np.asarray([[1, 2]]))[0] == 2.0
+
+    def test_transitive_paths(self, fan_graph):
+        snapshot, directions = fan_graph
+        metric = TransitivePaths(directions).fit(snapshot)
+        # 0 -> {1,2} -> 4: two directed 2-paths.
+        assert metric.score(np.asarray([[0, 4]]))[0] == 2.0
+
+    def test_directed_pa(self, fan_graph):
+        snapshot, directions = fan_graph
+        metric = DirectedPreferentialAttachment(directions).fit(snapshot)
+        # Best orientation 0 -> 1: out(0)=2, in(1)=2 -> 4.
+        assert metric.score(np.asarray([[0, 1]]))[0] == 4.0
+
+    def test_orientation_symmetry(self, fan_graph):
+        snapshot, directions = fan_graph
+        for cls in (SharedFollowees, SharedFollowers, TransitivePaths,
+                    DirectedPreferentialAttachment):
+            metric = cls(directions).fit(snapshot)
+            a = metric.score(np.asarray([[0, 4]]))
+            b = metric.score(np.asarray([[4, 0]]))
+            assert a[0] == b[0], cls.name
+
+    def test_empty_pairs(self, fan_graph):
+        snapshot, directions = fan_graph
+        metric = SharedFollowees(directions).fit(snapshot)
+        assert metric.score(np.zeros((0, 2), dtype=np.int64)).shape == (0,)
+
+
+class TestGeneratedDirections:
+    def test_every_edge_has_a_direction(self):
+        config = subscription_config(
+            total_nodes=200, total_edges=600, duration_days=30
+        )
+        trace, directions = generate_directed_trace(config, seed=0)
+        assert set(directions) == {(u, v) if u < v else (v, u) for u, v, _ in trace.edges()}
+        for pair, (src, dst) in directions.items():
+            assert {src, dst} == set(pair)
+
+    def test_subscription_directions_point_at_creators(self):
+        """In-degree concentrates far above out-degree on a subscription
+        network — the asymmetry undirected PA cannot see."""
+        config = subscription_config(
+            total_nodes=400, total_edges=1200, duration_days=40
+        )
+        trace, directions = generate_directed_trace(config, seed=1)
+        snapshot = Snapshot(trace, trace.num_edges)
+        dv = DirectedView(snapshot, directions)
+        assert dv.in_degrees.max() > 2 * dv.out_degrees.max()
+
+    def test_metrics_run_in_pipeline(self):
+        from repro.eval.experiment import evaluate_step, prediction_steps
+        from repro.graph.snapshots import snapshot_sequence
+
+        config = subscription_config(
+            total_nodes=300, total_edges=900, duration_days=40
+        )
+        trace, directions = generate_directed_trace(config, seed=2)
+        snaps = snapshot_sequence(trace, trace.num_edges // 6)
+        prev, _, truth = list(prediction_steps(snaps))[-1]
+        result = evaluate_step(
+            DirectedPreferentialAttachment(directions), prev, truth, rng=0
+        )
+        assert result.metric == "dPA"
+        assert result.outcome.k == len(truth)

@@ -1,0 +1,44 @@
+"""Unit tests for trace serialisation (repro.graph.io)."""
+
+import pytest
+
+from repro.graph.io import read_trace, write_trace
+
+
+class TestRoundTrip:
+    def test_write_then_read(self, tiny_trace, tmp_path):
+        path = tmp_path / "trace.txt"
+        write_trace(tiny_trace, path)
+        loaded = read_trace(path)
+        assert loaded.num_nodes == tiny_trace.num_nodes
+        assert loaded.num_edges == tiny_trace.num_edges
+        for (u1, v1, t1), (u2, v2, t2) in zip(tiny_trace.edges(), loaded.edges()):
+            assert (u1, v1) == (u2, v2)
+            assert t1 == pytest.approx(t2, abs=1e-5)
+
+    def test_comments_and_blanks_skipped(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text("# header\n\n0 1 0.5\n# mid comment\n1 2 1.5\n")
+        loaded = read_trace(path)
+        assert loaded.num_edges == 2
+
+    def test_unsorted_input_is_sorted(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text("5 6 9.0\n0 1 1.0\n2 3 4.0\n")
+        loaded = read_trace(path)
+        times = [t for _, _, t in loaded.edges()]
+        assert times == [1.0, 4.0, 9.0]
+
+    def test_two_column_fallback(self, tmp_path):
+        path = tmp_path / "plain.txt"
+        path.write_text("0 1\n1 2\n2 3\n")
+        loaded = read_trace(path)
+        assert loaded.num_edges == 3
+        times = [t for _, _, t in loaded.edges()]
+        assert times == sorted(times)
+
+    def test_malformed_line_raises(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0 1 2 3 4\n")
+        with pytest.raises(ValueError, match="expected"):
+            read_trace(path)

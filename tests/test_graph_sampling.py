@@ -1,0 +1,67 @@
+"""Unit tests for snowball sampling (repro.graph.sampling)."""
+
+import numpy as np
+import pytest
+
+from repro.graph.sampling import snowball_sample
+from repro.graph.snapshots import Snapshot
+
+
+class TestSnowballSample:
+    def test_target_size(self, facebook_snapshots):
+        s = facebook_snapshots[-1]
+        sample = snowball_sample(s, fraction=0.3, rng=0)
+        assert len(sample) == round(0.3 * s.num_nodes)
+
+    def test_full_fraction_returns_everything(self, tiny_snapshot):
+        sample = snowball_sample(tiny_snapshot, fraction=1.0, seed_node=0)
+        assert sample == set(tiny_snapshot.nodes())
+
+    def test_contains_seed(self, facebook_snapshots):
+        s = facebook_snapshots[-1]
+        seed = s.node_list[0]
+        sample = snowball_sample(s, fraction=0.2, seed_node=seed)
+        assert seed in sample
+
+    def test_bfs_locality(self, tiny_snapshot):
+        # From node 5, a 3-node sample must stay in its BFS vicinity.
+        sample = snowball_sample(tiny_snapshot, fraction=3 / 8, seed_node=5)
+        assert 5 in sample
+        assert sample <= {5, 4, 6, 2, 7, 3, 1}
+
+    def test_deterministic_with_seed_node(self, facebook_snapshots):
+        s = facebook_snapshots[-1]
+        seed = s.node_list[3]
+        a = snowball_sample(s, fraction=0.25, seed_node=seed)
+        b = snowball_sample(s, fraction=0.25, seed_node=seed)
+        assert a == b
+
+    def test_invalid_fraction(self, tiny_snapshot):
+        with pytest.raises(ValueError):
+            snowball_sample(tiny_snapshot, fraction=0.0)
+        with pytest.raises(ValueError):
+            snowball_sample(tiny_snapshot, fraction=1.5)
+
+    def test_unknown_seed_node(self, tiny_snapshot):
+        with pytest.raises(ValueError):
+            snowball_sample(tiny_snapshot, fraction=0.5, seed_node=999)
+
+    def test_disconnected_graph_restarts(self):
+        from tests.conftest import build_trace
+
+        # Two components: 0-1-2 and 3-4.
+        trace = build_trace([(0, 1, 0.0), (1, 2, 1.0), (3, 4, 2.0)])
+        s = Snapshot(trace, trace.num_edges)
+        sample = snowball_sample(s, fraction=1.0, seed_node=0)
+        assert sample == {0, 1, 2, 3, 4}
+
+    def test_same_seed_grows_consistently(self, small_facebook):
+        """Re-sampling a later snapshot with the same seed stays aligned
+        (Section 5.1's train/test population overlap)."""
+        early = Snapshot(small_facebook, small_facebook.num_edges // 2)
+        late = Snapshot(small_facebook, small_facebook.num_edges)
+        seed = early.node_list[0]
+        a = snowball_sample(early, fraction=0.3, seed_node=seed)
+        b = snowball_sample(late, fraction=0.3, seed_node=seed)
+        overlap = len(a & b) / len(a)
+        assert overlap > 0.5

@@ -1,0 +1,109 @@
+"""Unit tests for repro.graph.stats, cross-validated against networkx."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graph import stats
+from repro.graph.snapshots import Snapshot
+
+
+class TestAverageDegree:
+    def test_tiny(self, tiny_snapshot):
+        assert stats.average_degree(tiny_snapshot) == pytest.approx(2 * 12 / 8)
+
+    def test_matches_networkx(self, facebook_snapshots):
+        s = facebook_snapshots[-1]
+        g = s.to_networkx()
+        expected = np.mean([d for _, d in g.degree()])
+        assert stats.average_degree(s) == pytest.approx(expected)
+
+
+class TestDegreeStatistics:
+    def test_percentiles_and_moments(self, tiny_snapshot):
+        mean, std, pct = stats.degree_statistics(tiny_snapshot)
+        degrees = tiny_snapshot.degree_array()
+        assert mean == pytest.approx(degrees.mean())
+        assert std == pytest.approx(degrees.std())
+        assert pct[50] == pytest.approx(np.percentile(degrees, 50))
+
+
+class TestClustering:
+    def test_local_matches_networkx(self, tiny_snapshot):
+        g = tiny_snapshot.to_networkx()
+        nx_clust = nx.clustering(g)
+        for node in tiny_snapshot.nodes():
+            assert stats.local_clustering(tiny_snapshot, node) == pytest.approx(
+                nx_clust[node]
+            )
+
+    def test_average_exact_matches_networkx(self, facebook_snapshots):
+        s = facebook_snapshots[0]
+        expected = nx.average_clustering(s.to_networkx())
+        assert stats.average_clustering(s) == pytest.approx(expected)
+
+    def test_sampled_close_to_exact(self, facebook_snapshots):
+        s = facebook_snapshots[-1]
+        exact = stats.average_clustering(s)
+        sampled = stats.average_clustering(s, sample_size=s.num_nodes // 2, seed=0)
+        assert abs(sampled - exact) < 0.1
+
+    def test_degree_one_node_zero(self, tiny_trace):
+        s = Snapshot(tiny_trace, 5)  # node 4 has degree 1
+        assert stats.local_clustering(s, 4) == 0.0
+
+
+class TestTriangles:
+    def test_matches_networkx(self, tiny_snapshot):
+        g = tiny_snapshot.to_networkx()
+        nx_tri = nx.triangles(g)
+        for node in tiny_snapshot.nodes():
+            assert stats.triangle_count(tiny_snapshot, node) == nx_tri[node]
+
+
+class TestPaths:
+    def test_bfs_distances_match_networkx(self, tiny_snapshot):
+        g = tiny_snapshot.to_networkx()
+        for source in [0, 4, 7]:
+            expected = nx.single_source_shortest_path_length(g, source)
+            assert stats.bfs_distances(tiny_snapshot, source) == dict(expected)
+
+    def test_bfs_max_depth(self, tiny_snapshot):
+        d = stats.bfs_distances(tiny_snapshot, 0, max_depth=1)
+        assert set(d.values()) <= {0, 1}
+
+    def test_average_path_length_exact_graph(self, tiny_snapshot):
+        # Full sampling = exact average over all ordered reachable pairs.
+        ours = stats.average_path_length(tiny_snapshot, sample_size=100, seed=0)
+        expected = nx.average_shortest_path_length(tiny_snapshot.to_networkx())
+        assert ours == pytest.approx(expected)
+
+
+class TestAssortativity:
+    def test_matches_networkx(self, facebook_snapshots):
+        s = facebook_snapshots[-1]
+        expected = nx.degree_assortativity_coefficient(s.to_networkx())
+        assert stats.degree_assortativity(s) == pytest.approx(expected, abs=1e-8)
+
+    def test_star_is_strongly_negative(self):
+        from tests.conftest import build_trace
+
+        star = build_trace([(0, i, float(i)) for i in range(1, 8)])
+        s = Snapshot(star, star.num_edges)
+        # Every edge joins degree 7 with degree 1: perfect disassortativity.
+        assert stats.degree_assortativity(s) == pytest.approx(-1.0)
+
+
+class TestGraphFeatures:
+    def test_feature_vector_shape_and_order(self, tiny_snapshot):
+        f = stats.graph_features(tiny_snapshot, clustering_sample=None, path_sample=50)
+        arr = f.as_array()
+        assert arr.shape == (len(f.FIELD_NAMES),)
+        assert arr[0] == tiny_snapshot.num_nodes
+        assert arr[1] == tiny_snapshot.num_edges
+
+    def test_deterministic_given_seed(self, facebook_snapshots):
+        s = facebook_snapshots[-1]
+        a = stats.graph_features(s, seed=3).as_array()
+        b = stats.graph_features(s, seed=3).as_array()
+        assert np.array_equal(a, b)

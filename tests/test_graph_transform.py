@@ -1,0 +1,92 @@
+"""Tests for trace transformations."""
+
+import pytest
+
+from repro.graph.dyngraph import TemporalGraph
+from repro.graph.transform import merge, rebase_time, relabel, time_window
+from tests.conftest import build_trace
+
+
+class TestTimeWindow:
+    def test_selects_interval(self, tiny_trace):
+        window = time_window(tiny_trace, 3.0, 8.0)
+        times = [t for _, _, t in window.edges()]
+        assert times == [3.0, 4.0, 5.0, 6.0, 7.0]
+
+    def test_preserves_timestamps(self, tiny_trace):
+        window = time_window(tiny_trace, 3.0, 8.0)
+        assert window.start_time == 3.0
+
+    def test_empty_window_rejected(self, tiny_trace):
+        with pytest.raises(ValueError):
+            time_window(tiny_trace, 5.0, 5.0)
+
+    def test_window_outside_range_gives_empty(self, tiny_trace):
+        window = time_window(tiny_trace, 100.0, 200.0)
+        assert window.num_edges == 0
+
+
+class TestRelabel:
+    def test_ids_compacted(self):
+        trace = build_trace([(100, 7, 0.0), (7, 230, 1.0), (100, 230, 2.0)])
+        compact, mapping = relabel(trace)
+        assert set(compact.nodes()) == {0, 1, 2}
+        # Edge pairs are stored in canonical (sorted) order, so node 7 is
+        # encountered before 100 in the stream.
+        assert mapping == {7: 0, 100: 1, 230: 2}
+
+    def test_structure_preserved(self):
+        trace = build_trace([(100, 7, 0.0), (7, 230, 1.0)])
+        compact, mapping = relabel(trace)
+        assert compact.has_edge(mapping[100], mapping[7])
+        assert compact.has_edge(mapping[7], mapping[230])
+        assert not compact.has_edge(mapping[100], mapping[230])
+
+    def test_timestamps_preserved(self):
+        trace = build_trace([(9, 4, 2.5), (4, 11, 3.5)])
+        compact, mapping = relabel(trace)
+        assert compact.edge_time(mapping[9], mapping[4]) == 2.5
+
+    def test_isolated_nodes_kept(self):
+        trace = TemporalGraph()
+        trace.add_edge(5, 6, 0.0)
+        trace.add_node(99, 1.0)
+        compact, mapping = relabel(trace)
+        assert 99 in mapping
+        assert compact.has_node(mapping[99])
+
+
+class TestMerge:
+    def test_interleaves_by_time(self):
+        a = build_trace([(0, 1, 0.0), (2, 3, 4.0)])
+        b = build_trace([(4, 5, 1.0), (6, 7, 5.0)])
+        merged = merge([a, b])
+        times = [t for _, _, t in merged.edges()]
+        assert times == [0.0, 1.0, 4.0, 5.0]
+        assert merged.num_edges == 4
+
+    def test_duplicate_edges_keep_earliest(self):
+        a = build_trace([(0, 1, 0.0)])
+        b = build_trace([(1, 0, 2.0)])
+        merged = merge([a, b])
+        assert merged.num_edges == 1
+        assert merged.edge_time(0, 1) == 0.0
+
+    def test_merge_empty_list(self):
+        assert merge([]).num_edges == 0
+
+
+class TestRebaseTime:
+    def test_shifts_to_zero(self):
+        trace = build_trace([(0, 1, 10.0), (1, 2, 12.0)])
+        rebased = rebase_time(trace)
+        assert rebased.start_time == 0.0
+        assert rebased.edge_time(1, 2) == 2.0
+
+    def test_empty_trace(self):
+        assert rebase_time(TemporalGraph()).num_edges == 0
+
+    def test_roundtrip_with_window(self, tiny_trace):
+        rebased = rebase_time(time_window(tiny_trace, 3.0, 8.0))
+        assert rebased.start_time == 0.0
+        assert rebased.num_edges == 5

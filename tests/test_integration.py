@@ -1,0 +1,148 @@
+"""End-to-end integration tests spanning the whole pipeline.
+
+Each test walks a miniature version of one of the paper's experiments:
+generate a trace, sequence it, run predictors, compare configurations.
+These are the repository's smoke alarms — if a refactor breaks the way the
+pieces compose, these fail even when every unit test still passes.
+"""
+
+import numpy as np
+import pytest
+
+from repro import LinkPredictor, datasets
+from repro.classify import ClassificationPredictor, sampled_instance
+from repro.eval.correlation import pearson, two_hop_edge_ratio
+from repro.eval.experiment import evaluate_step, prediction_steps
+from repro.eval.meta import SnapshotRecord, fit_choice_tree
+from repro.graph.snapshots import snapshot_sequence
+from repro.graph.stats import graph_features
+from repro.metrics.candidates import two_hop_pairs
+from repro.temporal import TemporalFilter, TimeSeriesMetric, calibrate_filter
+
+
+@pytest.fixture(scope="module")
+def fb_trace():
+    return datasets.facebook_like(scale=0.4, seed=13)
+
+
+@pytest.fixture(scope="module")
+def fb_snaps(fb_trace):
+    return snapshot_sequence(
+        fb_trace, max(40, fb_trace.num_edges // 12), start=fb_trace.num_edges // 3
+    )
+
+
+class TestMetricPipeline:
+    def test_all_metrics_beat_random_on_friendship_graph(self, fb_snaps):
+        """Mini Figure 5: neighbourhood metrics beat random on average."""
+        steps = list(prediction_steps(fb_snaps))
+        for name in ("CN", "RA", "BRA", "AA"):
+            ratios = [
+                evaluate_step(name, prev, truth, rng=0).ratio
+                for prev, _, truth in steps
+            ]
+            assert np.mean(ratios) > 1.0, name
+
+    def test_sp_is_weakest_of_the_locals(self, fb_snaps):
+        """Mini Section 4.2: SP must underperform RA."""
+        steps = list(prediction_steps(fb_snaps))
+        ra = np.mean(
+            [evaluate_step("RA", p, t, rng=0).ratio for p, _, t in steps]
+        )
+        sp = np.mean(
+            [evaluate_step("SP", p, t, rng=0).ratio for p, _, t in steps]
+        )
+        assert ra > sp
+
+    def test_absolute_accuracy_single_digits(self, fb_snaps):
+        """Mini Table 4: absolute accuracy stays low (the paper's point)."""
+        steps = list(prediction_steps(fb_snaps))
+        best = max(
+            evaluate_step("BRA", p, t, rng=0).absolute for p, _, t in steps
+        )
+        assert best < 0.5  # far from solved, exactly as the paper argues
+
+
+class TestClassifierPipeline:
+    def test_train_predict_roundtrip(self, fb_snaps):
+        g2, g1, g0 = fb_snaps[-3:]
+        inst = sampled_instance(g2, g1, g0, fraction=1.0)
+        result = ClassificationPredictor("SVM", theta=1 / 20, seed=0).evaluate_instance(
+            inst, rng=0
+        )
+        assert result.ratio > 1.0
+
+    def test_undersampling_direction(self, fb_snaps):
+        """Mini Figure 10: realistic theta >= balanced theta (on average
+        over seeds, checked loosely with one seed here)."""
+        g2, g1, g0 = fb_snaps[-3:]
+        inst = sampled_instance(g2, g1, g0, fraction=1.0)
+        balanced = ClassificationPredictor("SVM", theta=1.0, seed=0).evaluate_instance(
+            inst, rng=0
+        )
+        realistic = ClassificationPredictor(
+            "SVM", theta=1 / 100, seed=0
+        ).evaluate_instance(inst, rng=0)
+        # Loose check: realistic sampling shouldn't be much worse.
+        assert realistic.ratio >= 0.5 * balanced.ratio
+
+
+class TestTemporalPipeline:
+    def test_filter_calibrate_apply(self, fb_snaps):
+        steps = list(prediction_steps(fb_snaps))
+        cal_prev, _, cal_truth = steps[-3]
+        params = calibrate_filter(
+            cal_prev, cal_truth, two_hop_pairs(cal_prev), rng=0
+        )
+        filt = TemporalFilter(params)
+        prev, _, truth = steps[-1]
+        filtered = evaluate_step("RA", prev, truth, rng=0, pair_filter=filt)
+        assert filtered.outcome.k == len(truth)
+
+    def test_time_series_metric_composes_with_filter(self, fb_snaps):
+        steps = list(prediction_steps(fb_snaps))
+        cal_prev, _, cal_truth = steps[-3]
+        filt = TemporalFilter(
+            calibrate_filter(cal_prev, cal_truth, two_hop_pairs(cal_prev), rng=0)
+        )
+        prev, _, truth = steps[-1]
+        ts = TimeSeriesMetric("RA", "ma", points=2)
+        result = evaluate_step(ts, prev, truth, rng=0, pair_filter=filt)
+        assert result.metric == "RA+MA"
+
+
+class TestMetaPipeline:
+    def test_choice_tree_from_real_runs(self, fb_snaps):
+        """Build Section 4.3 records from actual evaluation output."""
+        steps = list(prediction_steps(fb_snaps))[-3:]
+        records = []
+        for prev, _, truth in steps:
+            ratios = {
+                name: evaluate_step(name, prev, truth, rng=0).ratio
+                for name in ("RA", "PA")
+            }
+            records.append(
+                SnapshotRecord(
+                    network="fb",
+                    features=graph_features(prev, clustering_sample=100, path_sample=20),
+                    ratios=ratios,
+                )
+            )
+        tree, class_names = fit_choice_tree(records, max_depth=2)
+        assert set(class_names) <= {"RA", "PA"}
+
+    def test_lambda2_is_computable_over_sequence(self, fb_snaps):
+        steps = list(prediction_steps(fb_snaps))
+        lam = [two_hop_edge_ratio(p, t) for p, _, t in steps]
+        ratios = [evaluate_step("RA", p, t, rng=0).ratio for p, _, t in steps]
+        # Correlation is defined (no constant series) and finite.
+        assert np.isfinite(pearson(lam, ratios))
+
+
+class TestFacadeEndToEnd:
+    def test_quickstart_flow(self):
+        trace = datasets.youtube_like(scale=0.2, seed=3)
+        predictor = LinkPredictor(metric="Rescal", seed=0)
+        result = predictor.evaluate_sequence(trace, delta=trace.num_edges // 8)
+        assert len(result.steps) >= 1
+        assert "Rescal" in result.summary()

@@ -1,0 +1,102 @@
+"""Tests for the metric registry and shared precomputation cache."""
+
+import numpy as np
+import pytest
+
+import repro.metrics  # noqa: F401  (registers all metrics)
+from repro.metrics.base import (
+    adjacency,
+    all_metric_names,
+    cached,
+    degrees,
+    dense_adjacency,
+    get_metric,
+    matrix_values,
+    pairs_to_indices,
+    two_hop_matrix,
+)
+
+EXPECTED_NAMES = {
+    "CN", "JC", "AA", "RA", "BCN", "BAA", "BRA",
+    "LP", "SP", "PA", "PPR", "LRW", "Katz_lr", "Katz_sc", "Rescal",
+}
+
+
+class TestRegistry:
+    def test_all_fifteen_registered(self):
+        assert set(all_metric_names()) == EXPECTED_NAMES
+
+    def test_get_metric_returns_fresh_instance(self):
+        a = get_metric("CN")
+        b = get_metric("CN")
+        assert a is not b
+        assert a.name == "CN"
+
+    def test_get_metric_kwargs(self):
+        katz = get_metric("Katz_lr", beta=0.01, rank=5)
+        assert katz.beta == 0.01
+        assert katz.rank == 5
+
+    def test_unknown_metric(self):
+        with pytest.raises(KeyError, match="unknown metric"):
+            get_metric("FOO")
+
+    def test_every_metric_declares_strategy(self):
+        for name in all_metric_names():
+            assert get_metric(name).candidate_strategy in ("two_hop", "all")
+
+    def test_score_before_fit_raises(self):
+        metric = get_metric("CN")
+        with pytest.raises(RuntimeError, match="fit"):
+            metric.score(np.asarray([[0, 1]]))
+
+
+class TestCache:
+    def test_cached_computes_once(self, tiny_snapshot):
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return "value"
+
+        assert cached(tiny_snapshot, "k", compute) == "value"
+        assert cached(tiny_snapshot, "k", compute) == "value"
+        assert len(calls) == 1
+
+    def test_shared_blocks_are_cached(self, tiny_snapshot):
+        assert adjacency(tiny_snapshot) is adjacency(tiny_snapshot)
+        assert dense_adjacency(tiny_snapshot) is dense_adjacency(tiny_snapshot)
+        assert two_hop_matrix(tiny_snapshot) is two_hop_matrix(tiny_snapshot)
+        assert degrees(tiny_snapshot) is degrees(tiny_snapshot)
+
+    def test_dense_matches_sparse(self, tiny_snapshot):
+        assert np.array_equal(
+            dense_adjacency(tiny_snapshot), adjacency(tiny_snapshot).toarray()
+        )
+
+    def test_two_hop_matrix_counts_paths(self, tiny_snapshot):
+        a = dense_adjacency(tiny_snapshot)
+        assert np.array_equal(two_hop_matrix(tiny_snapshot).toarray(), a @ a)
+
+
+class TestIndexHelpers:
+    def test_pairs_to_indices_roundtrip(self, tiny_snapshot):
+        pairs = np.asarray([[0, 3], [2, 6]], dtype=np.int64)
+        rows, cols = pairs_to_indices(tiny_snapshot, pairs)
+        nl = tiny_snapshot.node_list
+        assert [nl[r] for r in rows] == [0, 2]
+        assert [nl[c] for c in cols] == [3, 6]
+
+    def test_matrix_values_extracts(self, tiny_snapshot):
+        m = two_hop_matrix(tiny_snapshot)
+        pairs = np.asarray([[0, 4], [5, 7]], dtype=np.int64)
+        rows, cols = pairs_to_indices(tiny_snapshot, pairs)
+        values = matrix_values(m, rows, cols)
+        dense = m.toarray()
+        assert values[0] == dense[rows[0], cols[0]]
+        assert values[1] == dense[rows[1], cols[1]]
+
+    def test_matrix_values_empty(self, tiny_snapshot):
+        m = two_hop_matrix(tiny_snapshot)
+        empty = np.zeros(0, dtype=np.int64)
+        assert matrix_values(m, empty, empty).shape == (0,)

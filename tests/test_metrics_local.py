@@ -1,0 +1,122 @@
+"""Correctness tests for CN / JC / AA / RA.
+
+The triangle_plus graph (triangle 0-1-2 with pendant 3 on node 2) has small
+enough neighbourhoods for exact hand computation; the preset graphs are
+cross-validated against networkx's implementations.
+"""
+
+import math
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graph.snapshots import Snapshot
+from repro.metrics.base import get_metric
+
+PAIRS = np.asarray([[0, 3], [1, 3]], dtype=np.int64)
+
+
+@pytest.fixture
+def snap(triangle_plus_trace):
+    return Snapshot(triangle_plus_trace, triangle_plus_trace.num_edges)
+
+
+class TestHandComputed:
+    def test_cn(self, snap):
+        scores = get_metric("CN").fit(snap).score(PAIRS)
+        # Node 2 is the only common neighbour of both (0,3) and (1,3).
+        assert scores == pytest.approx([1.0, 1.0])
+
+    def test_jc(self, snap):
+        scores = get_metric("JC").fit(snap).score(PAIRS)
+        # Union of neighbourhoods: {1,2} u {2} = {1,2} -> 1/2.
+        assert scores == pytest.approx([0.5, 0.5])
+
+    def test_aa(self, snap):
+        scores = get_metric("AA").fit(snap).score(PAIRS)
+        assert scores == pytest.approx([1 / math.log(3)] * 2)
+
+    def test_ra(self, snap):
+        scores = get_metric("RA").fit(snap).score(PAIRS)
+        assert scores == pytest.approx([1 / 3, 1 / 3])
+
+    def test_connected_pair_scores_do_not_crash(self, snap):
+        # Scoring an existing edge is legal (features for classifiers).
+        scores = get_metric("CN").fit(snap).score(np.asarray([[0, 1]]))
+        assert scores == pytest.approx([1.0])  # common neighbour 2
+
+
+class TestAgainstNetworkx:
+    @pytest.fixture
+    def sample(self, facebook_snapshots):
+        s = facebook_snapshots[-1]
+        from repro.metrics.candidates import two_hop_pairs
+
+        rng = np.random.default_rng(0)
+        pairs = two_hop_pairs(s)
+        idx = rng.choice(len(pairs), size=min(300, len(pairs)), replace=False)
+        return s, pairs[idx]
+
+    def test_jc_matches(self, sample):
+        s, pairs = sample
+        g = s.to_networkx()
+        expected = {
+            (u, v): p
+            for u, v, p in nx.jaccard_coefficient(g, [tuple(p) for p in pairs])
+        }
+        ours = get_metric("JC").fit(s).score(pairs)
+        for (u, v), score in zip(pairs, ours):
+            assert score == pytest.approx(expected[(int(u), int(v))])
+
+    def test_aa_matches(self, sample):
+        s, pairs = sample
+        g = s.to_networkx()
+        expected = {
+            (u, v): p
+            for u, v, p in nx.adamic_adar_index(g, [tuple(p) for p in pairs])
+        }
+        ours = get_metric("AA").fit(s).score(pairs)
+        for (u, v), score in zip(pairs, ours):
+            assert score == pytest.approx(expected[(int(u), int(v))])
+
+    def test_ra_matches(self, sample):
+        s, pairs = sample
+        g = s.to_networkx()
+        expected = {
+            (u, v): p
+            for u, v, p in nx.resource_allocation_index(g, [tuple(p) for p in pairs])
+        }
+        ours = get_metric("RA").fit(s).score(pairs)
+        for (u, v), score in zip(pairs, ours):
+            assert score == pytest.approx(expected[(int(u), int(v))])
+
+    def test_cn_matches(self, sample):
+        s, pairs = sample
+        g = s.to_networkx()
+        ours = get_metric("CN").fit(s).score(pairs)
+        for (u, v), score in zip(pairs, ours):
+            assert score == len(list(nx.common_neighbors(g, int(u), int(v))))
+
+
+class TestEdgeCases:
+    def test_beyond_two_hops_scores_zero(self, tiny_snapshot):
+        # Nodes 0 and 5 are 3 hops apart (no common neighbour).
+        pairs = np.asarray([[0, 5]], dtype=np.int64)
+        for name in ("CN", "JC", "AA", "RA"):
+            assert get_metric(name).fit(tiny_snapshot).score(pairs)[0] == 0.0
+
+    def test_empty_pairs(self, tiny_snapshot):
+        for name in ("CN", "JC", "AA", "RA"):
+            out = get_metric(name).fit(tiny_snapshot).score(
+                np.zeros((0, 2), dtype=np.int64)
+            )
+            assert out.shape == (0,)
+
+    def test_scores_finite_on_preset(self, facebook_snapshots):
+        s = facebook_snapshots[-1]
+        from repro.metrics.candidates import two_hop_pairs
+
+        pairs = two_hop_pairs(s)
+        for name in ("CN", "JC", "AA", "RA"):
+            assert np.isfinite(get_metric(name).fit(s).score(pairs)).all()

@@ -1,0 +1,105 @@
+"""Correctness tests for PA and RESCAL."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graph.snapshots import Snapshot
+from repro.metrics.base import adjacency, get_metric
+from repro.metrics.candidates import all_nonedge_pairs
+from repro.metrics.rescal import rescal_als
+
+
+class TestPreferentialAttachment:
+    def test_degree_product(self, tiny_snapshot):
+        pairs = all_nonedge_pairs(tiny_snapshot)
+        scores = get_metric("PA").fit(tiny_snapshot).score(pairs)
+        for (u, v), score in zip(pairs, scores):
+            assert score == tiny_snapshot.degree(int(u)) * tiny_snapshot.degree(int(v))
+
+    def test_matches_networkx(self, facebook_snapshots):
+        s = facebook_snapshots[0]
+        pairs = all_nonedge_pairs(s)[:300]
+        g = s.to_networkx()
+        expected = {
+            (u, v): p
+            for u, v, p in nx.preferential_attachment(g, [tuple(p) for p in pairs])
+        }
+        scores = get_metric("PA").fit(s).score(pairs)
+        for (u, v), score in zip(pairs, scores):
+            assert score == expected[(int(u), int(v))]
+
+    def test_top_pairs_fast_matches_full_ranking(self, facebook_snapshots):
+        s = facebook_snapshots[0]
+        metric = get_metric("PA").fit(s)
+        fast = metric.top_pairs_fast(limit=20)
+        pairs = all_nonedge_pairs(s)
+        scores = metric.score(pairs)
+        best_possible = np.sort(scores)[-20:][::-1]
+        fast_scores = metric.score(fast)
+        assert fast_scores == pytest.approx(best_possible)
+
+
+class TestRescalALS:
+    def test_reconstructs_block_structure(self):
+        """On a graph made of two cliques, a rank-2 RESCAL must score
+        within-block non-edges far above cross-block ones."""
+        from tests.conftest import build_trace
+
+        events = []
+        t = 0.0
+        # Two 6-cliques minus one edge each (so non-edges exist per block).
+        for base in (0, 6):
+            for i in range(6):
+                for j in range(i + 1, 6):
+                    if (i, j) == (0, 1):
+                        continue  # leave a within-block non-edge
+                    events.append((base + i, base + j, t))
+                    t += 1.0
+        # One bridge keeps it connected.
+        events.append((0, 6, t))
+        trace = build_trace(events)
+        s = Snapshot(trace, trace.num_edges)
+        metric = get_metric("Rescal", rank=3).fit(s)
+        within = metric.score(np.asarray([[0, 1], [6, 7]]))
+        across = metric.score(np.asarray([[1, 7], [2, 8]]))
+        assert within.min() > across.max()
+
+    def test_als_reduces_residual(self, facebook_snapshots):
+        s = facebook_snapshots[0]
+        a = adjacency(s)
+        from repro.metrics.rescal import _fit_residual
+
+        x0, r0 = rescal_als(a, rank=10, iterations=1)
+        x1, r1 = rescal_als(a, rank=10, iterations=20)
+        assert _fit_residual(a, x1, r1) <= _fit_residual(a, x0, r0) + 1e-6
+
+    def test_score_symmetric(self, tiny_snapshot):
+        metric = get_metric("Rescal", rank=4).fit(tiny_snapshot)
+        a = metric.score(np.asarray([[0, 5]]))
+        b = metric.score(np.asarray([[5, 0]]))
+        assert a[0] == pytest.approx(b[0])
+
+    def test_node_weights_favor_hubs(self, small_youtube):
+        s = Snapshot(small_youtube, small_youtube.num_edges)
+        metric = get_metric("Rescal", rank=10).fit(s)
+        weights = metric.node_weights()
+        degrees = s.degree_array()
+        top_hub = int(np.argmax(degrees))
+        # The highest-degree node must carry above-median latent weight —
+        # the supernode concentration the paper observes (Section 4.4).
+        assert weights[top_hub] > np.median(weights)
+
+    def test_rank_validation(self):
+        with pytest.raises(ValueError):
+            get_metric("Rescal", rank=0)
+
+    def test_deterministic(self, tiny_snapshot):
+        a = get_metric("Rescal", rank=4).fit(tiny_snapshot).score(
+            np.asarray([[0, 5]])
+        )
+        tiny_snapshot.cache.clear()
+        b = get_metric("Rescal", rank=4).fit(tiny_snapshot).score(
+            np.asarray([[0, 5]])
+        )
+        assert a[0] == pytest.approx(b[0])

@@ -1,0 +1,139 @@
+"""Correctness tests for SP / LP / Katz_lr / Katz_sc."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graph.snapshots import Snapshot
+from repro.metrics.base import dense_adjacency, get_metric
+from repro.metrics.candidates import all_nonedge_pairs
+
+
+class TestShortestPath:
+    def test_scores_are_negated_hops(self, tiny_snapshot):
+        g = tiny_snapshot.to_networkx()
+        pairs = all_nonedge_pairs(tiny_snapshot)
+        scores = get_metric("SP").fit(tiny_snapshot).score(pairs)
+        for (u, v), score in zip(pairs, scores):
+            assert score == -nx.shortest_path_length(g, int(u), int(v))
+
+    def test_disconnected_pair_is_minus_inf(self):
+        from tests.conftest import build_trace
+
+        trace = build_trace([(0, 1, 0.0), (2, 3, 1.0)])
+        s = Snapshot(trace, trace.num_edges)
+        scores = get_metric("SP").fit(s).score(np.asarray([[0, 2]]))
+        assert scores[0] == -np.inf
+
+    def test_two_hop_pairs_share_top_score(self, tiny_snapshot):
+        """The paper's point: SP cannot distinguish 2-hop pairs."""
+        from repro.metrics.candidates import two_hop_pairs
+
+        pairs = two_hop_pairs(tiny_snapshot)
+        scores = get_metric("SP").fit(tiny_snapshot).score(pairs)
+        assert (scores == -2.0).all()
+
+
+class TestLocalPath:
+    def test_matches_matrix_powers(self, tiny_snapshot):
+        a = dense_adjacency(tiny_snapshot)
+        a2, a3 = a @ a, a @ a @ a
+        eps = 1e-4
+        pairs = all_nonedge_pairs(tiny_snapshot)
+        scores = get_metric("LP").fit(tiny_snapshot).score(pairs)
+        pos = tiny_snapshot.node_pos
+        for (u, v), score in zip(pairs, scores):
+            i, j = pos[int(u)], pos[int(v)]
+            assert score == pytest.approx(a2[i, j] + eps * a3[i, j])
+
+    def test_epsilon_breaks_ties_only(self, facebook_snapshots):
+        """With the paper's eps=1e-4, any pair with more 2-hop paths must
+        outrank any pair with fewer, regardless of 3-hop counts."""
+        from repro.metrics.candidates import two_hop_pairs
+
+        s = facebook_snapshots[0]
+        pairs = two_hop_pairs(s)[:1000]
+        cn = get_metric("CN").fit(s).score(pairs)
+        lp = get_metric("LP").fit(s).score(pairs)
+        order = np.argsort(-lp, kind="stable")
+        sorted_cn = cn[order]
+        # CN counts must be non-increasing along the LP ranking.
+        assert (np.diff(sorted_cn) <= 1e-9).all() or (
+            sorted_cn[:-1] >= sorted_cn[1:] - 1e-9
+        ).all()
+
+    def test_custom_epsilon_validation(self):
+        with pytest.raises(ValueError):
+            get_metric("LP", epsilon=-0.1)
+
+
+class TestKatzLowRank:
+    def test_full_rank_matches_closed_form(self, tiny_snapshot):
+        """With rank ~ n, the spectral form equals (I - bA)^-1 - I."""
+        beta = 1e-3
+        a = dense_adjacency(tiny_snapshot)
+        n = a.shape[0]
+        closed = np.linalg.inv(np.eye(n) - beta * a) - np.eye(n)
+        pairs = all_nonedge_pairs(tiny_snapshot)
+        metric = get_metric("Katz_lr", beta=beta, rank=n)
+        scores = metric.fit(tiny_snapshot).score(pairs)
+        pos = tiny_snapshot.node_pos
+        for (u, v), score in zip(pairs, scores):
+            assert score == pytest.approx(closed[pos[int(u)], pos[int(v)]], abs=1e-9)
+
+    def test_low_rank_approximates(self, facebook_snapshots):
+        s = facebook_snapshots[0]
+        beta = 1e-3
+        a = dense_adjacency(s)
+        n = a.shape[0]
+        closed = np.linalg.inv(np.eye(n) - beta * a) - np.eye(n)
+        pairs = all_nonedge_pairs(s)[:500]
+        rank = s.num_nodes - 4  # drop a few eigenpairs only
+        scores = get_metric("Katz_lr", beta=beta, rank=rank).fit(s).score(pairs)
+        pos = s.node_pos
+        exact = np.asarray([closed[pos[int(u)], pos[int(v)]] for u, v in pairs])
+        # With beta this small the index is dominated by short paths, which
+        # spectral truncation reproduces only approximately — require a
+        # strong rank correlation when few eigenpairs are dropped.
+        from scipy.stats import spearmanr
+
+        assert spearmanr(scores, exact).statistic > 0.7
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            get_metric("Katz_lr", beta=0.0)
+        with pytest.raises(ValueError):
+            get_metric("Katz_lr", rank=0)
+
+
+class TestKatzTruncated:
+    def test_matches_truncated_series(self, tiny_snapshot):
+        beta, l_max = 1e-3, 4
+        a = dense_adjacency(tiny_snapshot)
+        total = np.zeros_like(a)
+        power = np.eye(a.shape[0])
+        for l in range(1, l_max + 1):
+            power = power @ a
+            total += beta**l * power
+        pairs = all_nonedge_pairs(tiny_snapshot)
+        scores = get_metric("Katz_sc", beta=beta, max_length=l_max).fit(
+            tiny_snapshot
+        ).score(pairs)
+        pos = tiny_snapshot.node_pos
+        for (u, v), score in zip(pairs, scores):
+            assert score == pytest.approx(total[pos[int(u)], pos[int(v)]])
+
+    def test_correlates_with_low_rank(self, facebook_snapshots):
+        """The two Katz implementations must agree on ranking (they
+        approximate the same index)."""
+        from scipy.stats import spearmanr
+
+        s = facebook_snapshots[0]
+        pairs = all_nonedge_pairs(s)[:800]
+        lr = get_metric("Katz_lr", rank=s.num_nodes - 4).fit(s).score(pairs)
+        sc = get_metric("Katz_sc").fit(s).score(pairs)
+        assert spearmanr(lr, sc).statistic > 0.7
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            get_metric("Katz_sc", max_length=1)

@@ -1,0 +1,99 @@
+"""Cross-validation of the vectorised metrics against naive references.
+
+Every metric with a closed per-pair formula is recomputed by the
+loop-based reference implementations in
+:mod:`tests.reference_implementations` on randomised graphs and compared
+exactly (or within numerical tolerance for the iterative ones).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.graph.dyngraph import TemporalGraph
+from repro.graph.snapshots import Snapshot
+from repro.metrics.base import get_metric
+from repro.metrics.candidates import all_nonedge_pairs
+from tests.reference_implementations import REFERENCES
+from tests.test_properties import edge_streams
+
+EXACT = ("CN", "JC", "AA", "RA", "BCN", "BAA", "BRA", "PA", "LP", "Katz_sc", "SP")
+ITERATIVE = ("LRW", "PPR")
+
+
+def make_snapshot(stream):
+    trace = TemporalGraph.from_stream(stream)
+    return Snapshot(trace, trace.num_edges)
+
+
+def reference_scores(snapshot, name, pairs):
+    fn = REFERENCES[name]
+    return np.asarray([fn(snapshot, int(u), int(v)) for u, v in pairs])
+
+
+class TestExactAgreement:
+    @pytest.mark.parametrize("name", EXACT)
+    def test_on_tiny_graph(self, tiny_snapshot, name):
+        pairs = all_nonedge_pairs(tiny_snapshot)
+        fast = get_metric(name).fit(tiny_snapshot).score(pairs)
+        slow = reference_scores(tiny_snapshot, name, pairs)
+        assert fast == pytest.approx(slow, rel=1e-9, abs=1e-12)
+
+    @pytest.mark.parametrize("name", EXACT)
+    def test_on_preset_sample(self, facebook_snapshots, name):
+        s = facebook_snapshots[0]
+        rng = np.random.default_rng(0)
+        pairs = all_nonedge_pairs(s)
+        pairs = pairs[rng.choice(len(pairs), size=min(60, len(pairs)), replace=False)]
+        fast = get_metric(name).fit(s).score(pairs)
+        slow = reference_scores(s, name, pairs)
+        assert fast == pytest.approx(slow, rel=1e-9, abs=1e-12)
+
+    @given(edge_streams(max_nodes=9, max_edges=20))
+    @settings(max_examples=20, deadline=None)
+    def test_randomised_neighbourhood_family(self, stream):
+        s = make_snapshot(stream)
+        pairs = all_nonedge_pairs(s)
+        if len(pairs) == 0:
+            return
+        for name in ("CN", "JC", "AA", "RA", "BCN", "BRA", "PA"):
+            fast = get_metric(name).fit(s).score(pairs)
+            slow = reference_scores(s, name, pairs)
+            assert fast == pytest.approx(slow, rel=1e-9, abs=1e-12), name
+
+    @given(edge_streams(max_nodes=8, max_edges=14))
+    @settings(max_examples=15, deadline=None)
+    def test_randomised_path_family(self, stream):
+        s = make_snapshot(stream)
+        pairs = all_nonedge_pairs(s)
+        if len(pairs) == 0:
+            return
+        for name in ("LP", "Katz_sc", "SP"):
+            fast = get_metric(name).fit(s).score(pairs)
+            slow = reference_scores(s, name, pairs)
+            assert fast == pytest.approx(slow, rel=1e-9, abs=1e-12), name
+
+
+class TestIterativeAgreement:
+    def test_lrw_matches_reference(self, tiny_snapshot):
+        pairs = all_nonedge_pairs(tiny_snapshot)
+        fast = get_metric("LRW").fit(tiny_snapshot).score(pairs)
+        slow = reference_scores(tiny_snapshot, "LRW", pairs)
+        assert fast == pytest.approx(slow, rel=1e-9)
+
+    def test_ppr_matches_reference(self, tiny_snapshot):
+        pairs = all_nonedge_pairs(tiny_snapshot)[:8]
+        fast = get_metric("PPR").fit(tiny_snapshot).score(pairs)
+        slow = reference_scores(tiny_snapshot, "PPR", pairs)
+        assert fast == pytest.approx(slow, rel=1e-6)
+
+    @given(edge_streams(max_nodes=8, max_edges=16))
+    @settings(max_examples=10, deadline=None)
+    def test_randomised_lrw(self, stream):
+        s = make_snapshot(stream)
+        pairs = all_nonedge_pairs(s)
+        if len(pairs) == 0:
+            return
+        fast = get_metric("LRW").fit(s).score(pairs)
+        slow = reference_scores(s, "LRW", pairs)
+        assert fast == pytest.approx(slow, rel=1e-9, abs=1e-12)

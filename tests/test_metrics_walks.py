@@ -1,0 +1,91 @@
+"""Correctness tests for PPR and LRW."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.metrics.base import get_metric
+from repro.metrics.candidates import all_nonedge_pairs
+from repro.metrics.walks import transition_matrix
+
+
+class TestTransitionMatrix:
+    def test_rows_stochastic(self, tiny_snapshot):
+        p = transition_matrix(tiny_snapshot)
+        assert p.sum(axis=1) == pytest.approx(np.ones(p.shape[0]))
+
+    def test_entries(self, tiny_snapshot):
+        p = transition_matrix(tiny_snapshot)
+        pos = tiny_snapshot.node_pos
+        # Node 7 has neighbours {6, 0}: each transition prob 1/2.
+        assert p[pos[7], pos[6]] == pytest.approx(0.5)
+        assert p[pos[7], pos[0]] == pytest.approx(0.5)
+        assert p[pos[7], pos[1]] == 0.0
+
+
+class TestPPR:
+    def test_matches_networkx_pagerank(self, tiny_snapshot):
+        """pi_{u,.} must match networkx's personalised PageRank from u."""
+        alpha = 0.15
+        metric = get_metric("PPR", alpha=alpha).fit(tiny_snapshot)
+        g = tiny_snapshot.to_networkx()
+        pos = tiny_snapshot.node_pos
+        for u in [0, 4, 7]:
+            expected = nx.pagerank(
+                g, alpha=1 - alpha, personalization={u: 1.0}, tol=1e-12, max_iter=500
+            )
+            for v in tiny_snapshot.nodes():
+                assert metric._pi[pos[u], pos[v]] == pytest.approx(
+                    expected[v], abs=1e-8
+                )
+
+    def test_score_is_symmetric_sum(self, tiny_snapshot):
+        metric = get_metric("PPR").fit(tiny_snapshot)
+        a = metric.score(np.asarray([[0, 5]]))
+        b = metric.score(np.asarray([[5, 0]]))
+        assert a[0] == pytest.approx(b[0])
+
+    def test_rows_sum_to_one(self, tiny_snapshot):
+        metric = get_metric("PPR").fit(tiny_snapshot)
+        assert metric._pi.sum(axis=1) == pytest.approx(
+            np.ones(tiny_snapshot.num_nodes)
+        )
+
+    def test_alpha_validation(self):
+        with pytest.raises(ValueError):
+            get_metric("PPR", alpha=0.0)
+        with pytest.raises(ValueError):
+            get_metric("PPR", alpha=1.0)
+
+
+class TestLRW:
+    def test_matches_matrix_power(self, tiny_snapshot):
+        m = 3
+        p = transition_matrix(tiny_snapshot)
+        pm = np.linalg.matrix_power(p, m)
+        deg = tiny_snapshot.degree_array()
+        two_e = 2.0 * tiny_snapshot.num_edges
+        metric = get_metric("LRW", steps=m).fit(tiny_snapshot)
+        pairs = all_nonedge_pairs(tiny_snapshot)
+        scores = metric.score(pairs)
+        pos = tiny_snapshot.node_pos
+        for (u, v), score in zip(pairs, scores):
+            i, j = pos[int(u)], pos[int(v)]
+            expected = deg[i] / two_e * pm[i, j] + deg[j] / two_e * pm[j, i]
+            assert score == pytest.approx(expected)
+
+    def test_one_step_is_zero_on_nonedges(self, tiny_snapshot):
+        """A 1-step walk cannot reach a non-neighbour."""
+        metric = get_metric("LRW", steps=1).fit(tiny_snapshot)
+        pairs = all_nonedge_pairs(tiny_snapshot)
+        assert (metric.score(pairs) == 0.0).all()
+
+    def test_symmetry(self, tiny_snapshot):
+        metric = get_metric("LRW").fit(tiny_snapshot)
+        a = metric.score(np.asarray([[1, 5]]))
+        b = metric.score(np.asarray([[5, 1]]))
+        assert a[0] == pytest.approx(b[0])
+
+    def test_steps_validation(self):
+        with pytest.raises(ValueError):
+            get_metric("LRW", steps=0)

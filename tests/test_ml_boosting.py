@@ -1,0 +1,103 @@
+"""Tests for the boosted ensembles (AdaBoost, gradient boosting)."""
+
+import numpy as np
+import pytest
+
+from repro.ml import AdaBoostClassifier, GradientBoostingClassifier, accuracy_score
+from repro.ml.tree import DecisionTreeClassifier
+from tests.test_ml_linear import make_blobs
+
+
+class TestAdaBoost:
+    def test_separable_data(self):
+        x, y = make_blobs(sep=2.5, seed=2)
+        model = AdaBoostClassifier(n_estimators=20, seed=0).fit(x, y)
+        assert accuracy_score(y, model.predict(x)) > 0.9
+
+    def test_boosting_beats_single_stump(self):
+        """A diagonal boundary needs more than one axis-aligned split."""
+        rng = np.random.default_rng(0)
+        x = rng.uniform(-1, 1, size=(800, 2))
+        y = (x[:, 0] + x[:, 1] > 0).astype(int)
+        stump = DecisionTreeClassifier(max_depth=1).fit(x, y)
+        boosted = AdaBoostClassifier(n_estimators=30, max_depth=1, seed=0).fit(x, y)
+        assert accuracy_score(y, boosted.predict(x)) > accuracy_score(
+            y, stump.predict(x)
+        )
+
+    def test_decision_function_sign_matches_predict(self):
+        x, y = make_blobs(seed=3)
+        model = AdaBoostClassifier(n_estimators=10, seed=0).fit(x, y)
+        scores = model.decision_function(x)
+        assert np.array_equal(model.predict(x) == model.classes_[1], scores > 0)
+
+    def test_rejects_multiclass(self):
+        x, _ = make_blobs()
+        with pytest.raises(ValueError, match="binary"):
+            AdaBoostClassifier(seed=0).fit(x, np.arange(len(x)) % 3)
+
+    def test_deterministic(self):
+        x, y = make_blobs(n=200, seed=5)
+        a = AdaBoostClassifier(n_estimators=8, seed=4).fit(x, y).decision_function(x)
+        b = AdaBoostClassifier(n_estimators=8, seed=4).fit(x, y).decision_function(x)
+        assert np.allclose(a, b)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdaBoostClassifier(n_estimators=0)
+        with pytest.raises(RuntimeError):
+            AdaBoostClassifier().decision_function(np.zeros((1, 2)))
+
+
+class TestGradientBoosting:
+    def test_separable_data(self):
+        x, y = make_blobs(sep=2.5, seed=2)
+        model = GradientBoostingClassifier(n_estimators=30, seed=0).fit(x, y)
+        assert accuracy_score(y, model.predict(x)) > 0.9
+
+    def test_more_stages_fit_better(self):
+        rng = np.random.default_rng(1)
+        x = rng.uniform(-1, 1, size=(600, 2))
+        y = (x[:, 0] + 0.5 * x[:, 1] > 0.1).astype(int)
+        short = GradientBoostingClassifier(n_estimators=2, seed=0).fit(x, y)
+        long = GradientBoostingClassifier(n_estimators=40, seed=0).fit(x, y)
+        assert accuracy_score(y, long.predict(x)) >= accuracy_score(
+            y, short.predict(x)
+        )
+
+    def test_proba_bounds_and_monotonicity(self):
+        x, y = make_blobs(seed=4)
+        model = GradientBoostingClassifier(n_estimators=15, seed=0).fit(x, y)
+        proba = model.predict_proba(x)
+        assert (proba >= 0).all() and (proba <= 1).all()
+        order = np.argsort(model.decision_function(x))
+        assert (np.diff(proba[order]) >= -1e-12).all()
+
+    def test_prior_initialisation(self):
+        """With no informative features, the score is the class-prior logit."""
+        x = np.zeros((100, 2))
+        y = np.asarray([1] * 90 + [0] * 10)
+        model = GradientBoostingClassifier(n_estimators=5, seed=0).fit(x, y)
+        assert model.predict(np.zeros((1, 2)))[0] == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GradientBoostingClassifier(learning_rate=0.0)
+        with pytest.raises(ValueError):
+            GradientBoostingClassifier(n_estimators=0)
+        x, _ = make_blobs()
+        with pytest.raises(ValueError, match="binary"):
+            GradientBoostingClassifier(seed=0).fit(x, np.arange(len(x)) % 3)
+
+
+class TestEnsemblesInPipeline:
+    def test_usable_as_classification_predictor(self, facebook_snapshots):
+        from repro.classify import ClassificationPredictor, sampled_instance
+
+        g2, g1, g0 = facebook_snapshots[-3:]
+        inst = sampled_instance(g2, g1, g0, fraction=1.0)
+        for name in ("AdaBoost", "GBT"):
+            predictor = ClassificationPredictor(name, theta=1 / 10, seed=0)
+            result = predictor.evaluate_instance(inst, rng=0)
+            assert result.outcome.k == inst.k
+            assert result.metric == name

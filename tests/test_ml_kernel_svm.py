@@ -1,0 +1,113 @@
+"""Tests for the kernel SVM."""
+
+import numpy as np
+import pytest
+
+from repro.ml import LinearSVM, accuracy_score
+from repro.ml.kernel_svm import KernelSVM, linear_kernel, rbf_kernel
+from tests.test_ml_linear import make_blobs
+
+
+def make_circles(n=400, seed=0):
+    """Inner disc (class 1) inside a ring (class 0): not linearly separable."""
+    rng = np.random.default_rng(seed)
+    radius = np.concatenate([rng.uniform(0, 0.8, n // 2), rng.uniform(1.5, 2.5, n // 2)])
+    angle = rng.uniform(0, 2 * np.pi, n)
+    x = np.column_stack([radius * np.cos(angle), radius * np.sin(angle)])
+    y = (radius < 1.0).astype(int)
+    return x, y
+
+
+class TestKernels:
+    def test_rbf_diagonal_is_one(self):
+        a = np.random.default_rng(0).normal(size=(10, 3))
+        k = rbf_kernel(a, a, gamma=0.7)
+        assert np.allclose(np.diag(k), 1.0)
+
+    def test_rbf_symmetric_and_bounded(self):
+        a = np.random.default_rng(1).normal(size=(12, 3))
+        k = rbf_kernel(a, a, gamma=0.5)
+        assert np.allclose(k, k.T)
+        assert (k > 0).all() and (k <= 1.0 + 1e-12).all()
+
+    def test_linear_kernel_is_gram(self):
+        a = np.random.default_rng(2).normal(size=(6, 4))
+        assert np.allclose(linear_kernel(a, a, 0.0), a @ a.T)
+
+
+class TestKernelSVM:
+    def test_solves_circles(self):
+        """RBF separates the rings where the linear SVM cannot."""
+        x, y = make_circles()
+        rbf = KernelSVM(C=5.0).fit(x, y)
+        linear = LinearSVM().fit(x, y)
+        assert accuracy_score(y, rbf.predict(x)) > 0.95
+        assert accuracy_score(y, linear.predict(x)) < 0.8
+
+    def test_linear_kernel_matches_linear_svm_on_blobs(self):
+        x, y = make_blobs(sep=3.0, seed=1)
+        kernel = KernelSVM(kernel="linear", C=1.0).fit(x, y)
+        primal = LinearSVM().fit(x, y)
+        agreement = np.mean(kernel.predict(x) == primal.predict(x))
+        assert agreement > 0.97
+
+    def test_dual_feasibility(self):
+        x, y = make_blobs(n=200, seed=2)
+        model = KernelSVM(C=2.0).fit(x, y)
+        assert (model.alpha_ >= 0).all()
+        assert (model.alpha_ <= 2.0 + 1e-9).all()
+
+    def test_support_vectors_subset(self):
+        x, y = make_blobs(n=300, sep=3.0, seed=3)
+        model = KernelSVM(C=1.0).fit(x, y)
+        # Easily separable data needs only a fraction as support vectors.
+        assert 0 < len(model.support_) < len(x)
+
+    def test_gamma_scale_heuristic(self):
+        x, y = make_blobs(n=100, seed=4)
+        model = KernelSVM().fit(x, y)
+        expected = 1.0 / (x.shape[1] * x.var())
+        assert model._gamma == pytest.approx(expected)
+
+    def test_max_train_guard(self):
+        x = np.zeros((10, 2))
+        y = np.arange(10) % 2
+        with pytest.raises(ValueError, match="max_train"):
+            KernelSVM(max_train=5).fit(x, y)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KernelSVM(C=0)
+        with pytest.raises(ValueError):
+            KernelSVM(kernel="poly")
+        with pytest.raises(ValueError):
+            KernelSVM(gamma=-1.0)
+        with pytest.raises(RuntimeError):
+            KernelSVM().decision_function(np.zeros((1, 2)))
+
+    def test_linear_svm_not_leaving_accuracy_behind(self):
+        """On the (roughly linear) link prediction features, RBF does not
+        meaningfully beat the linear SVM — the library's justification for
+        defaulting to the scalable primal model."""
+        from repro.classify import FeatureExtractor
+        from repro.classify.sampling import labeled_pairs, undersample
+        from repro.generators import presets
+        from repro.graph.snapshots import snapshot_sequence
+        from repro.metrics.candidates import all_nonedge_pairs
+        from repro.ml import StandardScaler, roc_auc_score
+
+        trace = presets.facebook_like(scale=0.25, seed=9)
+        snaps = snapshot_sequence(trace, trace.num_edges // 8)
+        g2, g1 = snaps[-2], snaps[-1]
+        pairs = all_nonedge_pairs(g2)
+        labels = labeled_pairs(g2, g1, pairs)
+        pairs, labels = undersample(pairs, labels, theta=1 / 20, rng=0)
+        features = FeatureExtractor(("CN", "RA", "JC", "PA")).compute(g2, pairs)
+        scaled = StandardScaler().fit_transform(features)
+        rbf_auc = roc_auc_score(
+            labels, KernelSVM(C=1.0).fit(scaled, labels).decision_function(scaled)
+        )
+        lin_auc = roc_auc_score(
+            labels, LinearSVM().fit(scaled, labels).decision_function(scaled)
+        )
+        assert rbf_auc < lin_auc + 0.15

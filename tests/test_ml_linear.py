@@ -1,0 +1,115 @@
+"""Tests for the linear classifiers (SVM, logistic regression)."""
+
+import numpy as np
+import pytest
+
+from repro.ml import LinearSVM, LogisticRegression, StandardScaler, accuracy_score
+
+
+def make_blobs(n=600, d=4, sep=2.0, seed=0):
+    """Two Gaussian blobs separated along the first axis."""
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(n, d))
+    y = (rng.random(n) < 0.5).astype(int)
+    x[:, 0] += sep * (2 * y - 1)
+    return x, y
+
+
+class TestLinearSVM:
+    def test_separable_data_high_accuracy(self):
+        x, y = make_blobs(sep=3.0)
+        model = LinearSVM().fit(x, y)
+        assert accuracy_score(y, model.predict(x)) > 0.95
+
+    def test_decision_function_sign_matches_predict(self):
+        x, y = make_blobs()
+        model = LinearSVM().fit(x, y)
+        scores = model.decision_function(x)
+        assert np.array_equal(model.predict(x), (scores > 0).astype(int))
+
+    def test_coef_identifies_informative_feature(self):
+        x, y = make_blobs(sep=3.0)
+        model = LinearSVM().fit(x, y)
+        assert np.argmax(np.abs(model.coef_)) == 0
+
+    def test_normalized_coefficients_sum_to_one(self):
+        x, y = make_blobs()
+        model = LinearSVM().fit(x, y)
+        assert model.normalized_coefficients().sum() == pytest.approx(1.0)
+        assert (model.normalized_coefficients() >= 0).all()
+
+    def test_balanced_class_weight_on_imbalance(self):
+        """Balanced weighting must recover minority recall on 1:50 data."""
+        rng = np.random.default_rng(1)
+        n_pos, n_neg = 20, 1000
+        x = np.vstack(
+            [rng.normal(2.0, 1.0, size=(n_pos, 2)), rng.normal(-1.0, 1.0, size=(n_neg, 2))]
+        )
+        y = np.concatenate([np.ones(n_pos, dtype=int), np.zeros(n_neg, dtype=int)])
+        balanced = LinearSVM(class_weight="balanced").fit(x, y)
+        recall = balanced.predict(x)[:n_pos].mean()
+        assert recall > 0.8
+
+    def test_label_encoding_arbitrary_binary(self):
+        x, y = make_blobs()
+        model = LinearSVM().fit(x, np.where(y == 1, 7, -3))
+        assert set(model.classes_) == {-3, 7}
+
+    def test_rejects_non_binary(self):
+        x, _ = make_blobs()
+        with pytest.raises(ValueError, match="2 classes"):
+            LinearSVM().fit(x, np.arange(len(x)) % 3)
+
+    def test_rejects_nan(self):
+        x, y = make_blobs(n=10)
+        x[0, 0] = np.nan
+        with pytest.raises(ValueError, match="NaN"):
+            LinearSVM().fit(x, y)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            LinearSVM(C=0.0)
+        with pytest.raises(ValueError):
+            LinearSVM(class_weight="bogus")
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            LinearSVM().decision_function(np.zeros((1, 2)))
+
+
+class TestLogisticRegression:
+    def test_separable_data_high_accuracy(self):
+        x, y = make_blobs(sep=3.0)
+        model = LogisticRegression().fit(x, y)
+        assert accuracy_score(y, model.predict(x)) > 0.95
+
+    def test_proba_in_unit_interval(self):
+        x, y = make_blobs()
+        model = LogisticRegression().fit(x, y)
+        proba = model.predict_proba(x)
+        assert (proba >= 0).all() and (proba <= 1).all()
+
+    def test_proba_monotone_in_score(self):
+        x, y = make_blobs()
+        model = LogisticRegression().fit(x, y)
+        scores = model.decision_function(x)
+        proba = model.predict_proba(x)
+        order = np.argsort(scores)
+        assert (np.diff(proba[order]) >= -1e-12).all()
+
+    def test_agrees_with_svm_on_easy_data(self):
+        x, y = make_blobs(sep=3.0)
+        xs = StandardScaler().fit_transform(x)
+        svm_pred = LinearSVM().fit(xs, y).predict(xs)
+        lr_pred = LogisticRegression().fit(xs, y).predict(xs)
+        assert np.mean(svm_pred == lr_pred) > 0.97
+
+    def test_regularization_shrinks_weights(self):
+        x, y = make_blobs()
+        loose = LogisticRegression(C=100.0).fit(x, y)
+        tight = LogisticRegression(C=0.001).fit(x, y)
+        assert np.linalg.norm(tight.coef_) < np.linalg.norm(loose.coef_)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            LogisticRegression(C=-1.0)

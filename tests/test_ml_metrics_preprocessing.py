@@ -1,0 +1,129 @@
+"""Tests for repro.ml.metrics and repro.ml.preprocessing."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    StandardScaler,
+    accuracy_score,
+    f1_score,
+    precision_score,
+    recall_score,
+    roc_auc_score,
+    train_test_split,
+)
+
+
+class TestAccuracy:
+    def test_basic(self):
+        assert accuracy_score([1, 0, 1, 1], [1, 0, 0, 1]) == 0.75
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            accuracy_score([], [])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            accuracy_score([1, 0], [1])
+
+
+class TestPrecisionRecallF1:
+    def test_known_counts(self):
+        y_true = [1, 1, 1, 0, 0, 0]
+        y_pred = [1, 1, 0, 1, 0, 0]
+        assert precision_score(y_true, y_pred) == pytest.approx(2 / 3)
+        assert recall_score(y_true, y_pred) == pytest.approx(2 / 3)
+        assert f1_score(y_true, y_pred) == pytest.approx(2 / 3)
+
+    def test_no_predictions_gives_zero_precision(self):
+        assert precision_score([1, 1], [0, 0]) == 0.0
+
+    def test_no_positives_gives_zero_recall(self):
+        assert recall_score([0, 0], [1, 1]) == 0.0
+
+    def test_f1_zero_when_both_zero(self):
+        assert f1_score([1, 0], [0, 0]) == 0.0
+
+
+class TestRocAuc:
+    def test_perfect_ranking(self):
+        assert roc_auc_score([0, 0, 1, 1], [0.1, 0.2, 0.8, 0.9]) == 1.0
+
+    def test_inverted_ranking(self):
+        assert roc_auc_score([0, 0, 1, 1], [0.9, 0.8, 0.2, 0.1]) == 0.0
+
+    def test_random_is_half(self):
+        rng = np.random.default_rng(0)
+        y = rng.integers(0, 2, size=4000)
+        s = rng.random(4000)
+        assert roc_auc_score(y, s) == pytest.approx(0.5, abs=0.05)
+
+    def test_ties_get_half_credit(self):
+        assert roc_auc_score([0, 1], [0.5, 0.5]) == 0.5
+
+    def test_single_class_rejected(self):
+        with pytest.raises(ValueError):
+            roc_auc_score([1, 1], [0.1, 0.9])
+
+    def test_matches_brute_force(self):
+        rng = np.random.default_rng(1)
+        y = rng.integers(0, 2, size=60)
+        if y.sum() in (0, 60):
+            y[0] = 1 - y[0]
+        s = rng.choice([0.1, 0.3, 0.5, 0.7], size=60)  # plenty of ties
+        pos, neg = s[y == 1], s[y == 0]
+        brute = np.mean(
+            [(1.0 if p > n else 0.5 if p == n else 0.0) for p in pos for n in neg]
+        )
+        assert roc_auc_score(y, s) == pytest.approx(brute)
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_variance(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(5.0, 3.0, size=(500, 3))
+        z = StandardScaler().fit_transform(x)
+        assert z.mean(axis=0) == pytest.approx(np.zeros(3), abs=1e-10)
+        assert z.std(axis=0) == pytest.approx(np.ones(3))
+
+    def test_constant_feature_maps_to_zero(self):
+        x = np.column_stack([np.full(10, 7.0), np.arange(10, dtype=float)])
+        z = StandardScaler().fit_transform(x)
+        assert (z[:, 0] == 0).all()
+
+    def test_transform_uses_fit_statistics(self):
+        scaler = StandardScaler().fit(np.asarray([[0.0], [2.0]]))
+        assert scaler.transform(np.asarray([[4.0]]))[0, 0] == pytest.approx(3.0)
+
+    def test_transform_before_fit(self):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform(np.zeros((1, 1)))
+
+
+class TestTrainTestSplit:
+    def test_sizes(self):
+        x = np.arange(100).reshape(-1, 1)
+        y = np.arange(100)
+        xtr, xte, ytr, yte = train_test_split(x, y, test_fraction=0.25, seed=0)
+        assert len(xtr) == 75 and len(xte) == 25
+
+    def test_rows_stay_aligned(self):
+        x = np.arange(50).reshape(-1, 1)
+        y = np.arange(50)
+        xtr, xte, ytr, yte = train_test_split(x, y, seed=1)
+        assert np.array_equal(xtr.ravel(), ytr)
+        assert np.array_equal(xte.ravel(), yte)
+
+    def test_partition_is_complete(self):
+        x = np.arange(30).reshape(-1, 1)
+        y = np.arange(30)
+        xtr, xte, _, _ = train_test_split(x, y, seed=2)
+        assert sorted(np.concatenate([xtr, xte]).ravel()) == list(range(30))
+
+    def test_validation(self):
+        x = np.zeros((4, 1))
+        y = np.zeros(4)
+        with pytest.raises(ValueError):
+            train_test_split(x, y, test_fraction=0.0)
+        with pytest.raises(ValueError):
+            train_test_split(x, np.zeros(3))

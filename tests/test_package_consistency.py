@@ -1,0 +1,77 @@
+"""Cross-module consistency checks.
+
+These catch drift between constants defined in different modules — the
+kind of breakage unit tests scoped to one module never see.
+"""
+
+import importlib
+import pkgutil
+
+import repro
+from repro.eval.meta import FEATURE_NAMES
+from repro.generators import presets
+from repro.graph.stats import GraphFeatures
+from repro.metrics import CLASSIFIER_FEATURES, FIGURE5_METRICS
+from repro.metrics.base import all_metric_names
+from repro.ml import CLASSIFIERS
+
+
+class TestMetricConstants:
+    def test_figure5_metrics_are_registered(self):
+        assert set(FIGURE5_METRICS) <= set(all_metric_names())
+
+    def test_classifier_features_are_registered(self):
+        assert set(CLASSIFIER_FEATURES) <= set(all_metric_names())
+
+    def test_classifier_features_has_fourteen(self):
+        """The paper feeds exactly 14 similarity metrics to classifiers."""
+        assert len(CLASSIFIER_FEATURES) == 14
+
+    def test_figure5_has_both_katz_variants(self):
+        assert "Katz_lr" in FIGURE5_METRICS
+        assert "Katz_sc" in FIGURE5_METRICS
+
+
+class TestFeatureNames:
+    def test_meta_features_match_dataclass(self):
+        assert tuple(FEATURE_NAMES) == tuple(
+            GraphFeatures.__dataclass_fields__["FIELD_NAMES"].default
+        )
+
+    def test_every_feature_is_an_attribute(self):
+        fields = set(GraphFeatures.__dataclass_fields__)
+        assert set(FEATURE_NAMES) <= fields
+
+
+class TestPresets:
+    def test_dataset_names_align_with_deltas(self):
+        assert set(presets.DATASETS) == set(presets.SNAPSHOT_DELTAS)
+
+    def test_paper_filter_params_cover_datasets(self):
+        from repro.temporal.filters import PAPER_PARAMS
+
+        assert set(PAPER_PARAMS) == set(presets.DATASETS)
+
+
+class TestClassifiers:
+    def test_registry_instantiable(self):
+        for name, factory in CLASSIFIERS.items():
+            model = factory()
+            assert hasattr(model, "fit"), name
+            assert hasattr(model, "decision_function"), name
+
+
+class TestImports:
+    def test_every_module_imports(self):
+        """Every submodule of repro imports cleanly (no stale imports)."""
+        failures = []
+        for module in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+            try:
+                importlib.import_module(module.name)
+            except Exception as exc:  # pragma: no cover - report only
+                failures.append((module.name, exc))
+        assert not failures, failures
+
+    def test_public_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name

@@ -1,0 +1,116 @@
+"""Further property-based tests: transforms, filters, weighted metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.extensions.weighted import (
+    WeightedCommonNeighbors,
+    WeightedResourceAllocation,
+)
+from repro.graph.dyngraph import TemporalGraph
+from repro.graph.snapshots import Snapshot
+from repro.graph.transform import merge, rebase_time, relabel, time_window
+from repro.metrics.candidates import two_hop_pairs
+from repro.temporal.filters import FilterParams, TemporalFilter
+from tests.test_properties import edge_streams
+
+
+class TestTransformProperties:
+    @given(edge_streams(max_nodes=10, max_edges=25), st.floats(0, 50), st.floats(1, 60))
+    @settings(max_examples=50, deadline=None)
+    def test_window_is_a_subtrace(self, stream, start, width):
+        trace = TemporalGraph.from_stream(stream)
+        window = time_window(trace, start, start + width)
+        original = {(u, v) for u, v, _ in trace.edges()}
+        for u, v, t in window.edges():
+            assert (u, v) in original
+            assert start <= t < start + width
+
+    @given(edge_streams(max_nodes=10, max_edges=25))
+    @settings(max_examples=50, deadline=None)
+    def test_relabel_preserves_structure(self, stream):
+        trace = TemporalGraph.from_stream(stream)
+        compact, mapping = relabel(trace)
+        assert compact.num_edges == trace.num_edges
+        assert compact.num_nodes == trace.num_nodes
+        assert sorted(mapping.values()) == list(range(len(mapping)))
+        for u, v, t in trace.edges():
+            assert compact.has_edge(mapping[u], mapping[v])
+
+    @given(edge_streams(max_nodes=8, max_edges=15), edge_streams(max_nodes=8, max_edges=15))
+    @settings(max_examples=40, deadline=None)
+    def test_merge_contains_both(self, a_stream, b_stream):
+        # Disjoint id spaces so only cross-stream duplicates are impossible.
+        a = TemporalGraph.from_stream(a_stream)
+        b = TemporalGraph.from_stream([(u + 100, v + 100, t) for u, v, t in b_stream])
+        merged = merge([a, b])
+        assert merged.num_edges == a.num_edges + b.num_edges
+        times = [t for _, _, t in merged.edges()]
+        assert times == sorted(times)
+
+    @given(edge_streams(max_nodes=10, max_edges=20))
+    @settings(max_examples=40, deadline=None)
+    def test_rebase_starts_at_zero(self, stream):
+        trace = TemporalGraph.from_stream(stream)
+        rebased = rebase_time(trace)
+        if rebased.num_edges:
+            assert rebased.start_time == pytest.approx(0.0)
+            assert rebased.end_time == pytest.approx(
+                trace.end_time - trace.start_time
+            )
+
+
+class TestFilterProperties:
+    @given(edge_streams(max_nodes=10, max_edges=25), st.floats(0.1, 30), st.floats(0.1, 30))
+    @settings(max_examples=40, deadline=None)
+    def test_tighter_thresholds_keep_fewer(self, stream, d_act, d_cn):
+        trace = TemporalGraph.from_stream(stream)
+        snapshot = Snapshot(trace, trace.num_edges)
+        pairs = two_hop_pairs(snapshot)
+        if len(pairs) == 0:
+            return
+        loose = TemporalFilter(
+            FilterParams(d_act=d_act * 2, d_inact=1e6, window=10, min_new_edges=0, d_cn=d_cn * 2)
+        )
+        tight = TemporalFilter(
+            FilterParams(d_act=d_act, d_inact=1e6, window=10, min_new_edges=0, d_cn=d_cn)
+        )
+        keep_loose = loose(snapshot, pairs)
+        keep_tight = tight(snapshot, pairs)
+        # Monotonicity: tightening thresholds can only remove pairs.
+        assert not np.any(keep_tight & ~keep_loose)
+
+
+class TestWeightedMetricProperties:
+    @given(edge_streams(max_nodes=9, max_edges=20), st.floats(0.5, 5.0))
+    @settings(max_examples=30, deadline=None)
+    def test_wra_invariant_under_uniform_weight_scaling(self, stream, scale):
+        """WRA at alpha=1 normalises by strength, so w -> c*w cancels."""
+        trace = TemporalGraph.from_stream(stream)
+        snapshot = Snapshot(trace, trace.num_edges)
+        pairs = two_hop_pairs(snapshot)
+        if len(pairs) == 0:
+            return
+        base = {pair: 1.0 + (i % 3) for i, pair in enumerate(sorted(snapshot.edges()))}
+        scaled = {pair: scale * w for pair, w in base.items()}
+        a = WeightedResourceAllocation(base, alpha=1.0).fit(snapshot).score(pairs)
+        snapshot.cache.clear()
+        b = WeightedResourceAllocation(scaled, alpha=1.0).fit(snapshot).score(pairs)
+        assert a == pytest.approx(b)
+
+    @given(edge_streams(max_nodes=9, max_edges=20), st.floats(0.5, 4.0))
+    @settings(max_examples=30, deadline=None)
+    def test_wcn_scales_linearly_at_alpha_one(self, stream, scale):
+        trace = TemporalGraph.from_stream(stream)
+        snapshot = Snapshot(trace, trace.num_edges)
+        pairs = two_hop_pairs(snapshot)
+        if len(pairs) == 0:
+            return
+        base = {pair: 2.0 for pair in snapshot.edges()}
+        scaled = {pair: scale * w for pair, w in base.items()}
+        a = WeightedCommonNeighbors(base, alpha=1.0).fit(snapshot).score(pairs)
+        snapshot.cache.clear()
+        b = WeightedCommonNeighbors(scaled, alpha=1.0).fit(snapshot).score(pairs)
+        assert b == pytest.approx(scale * a)

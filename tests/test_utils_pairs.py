@@ -1,0 +1,45 @@
+"""Unit tests for repro.utils.pairs."""
+
+import numpy as np
+import pytest
+
+from repro.utils.pairs import canonical_pair, pair_array, pair_set
+
+
+class TestCanonicalPair:
+    def test_orders_ascending(self):
+        assert canonical_pair(5, 2) == (2, 5)
+
+    def test_keeps_sorted_input(self):
+        assert canonical_pair(2, 5) == (2, 5)
+
+    def test_rejects_self_pair(self):
+        with pytest.raises(ValueError, match="self-pair"):
+            canonical_pair(3, 3)
+
+    def test_negative_ids_order(self):
+        assert canonical_pair(0, -1) == (-1, 0)
+
+
+class TestPairSet:
+    def test_deduplicates_orientations(self):
+        assert pair_set([(1, 2), (2, 1), (3, 1)]) == {(1, 2), (1, 3)}
+
+    def test_empty(self):
+        assert pair_set([]) == set()
+
+
+class TestPairArray:
+    def test_shape_and_canonical_order(self):
+        arr = pair_array([(4, 1), (2, 3)])
+        assert arr.shape == (2, 2)
+        assert arr.tolist() == [[1, 4], [2, 3]]
+
+    def test_preserves_iteration_order(self):
+        arr = pair_array([(9, 8), (1, 2), (7, 3)])
+        assert arr.tolist() == [[8, 9], [1, 2], [3, 7]]
+
+    def test_empty_has_two_columns(self):
+        arr = pair_array([])
+        assert arr.shape == (0, 2)
+        assert arr.dtype == np.int64

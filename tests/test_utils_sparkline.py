@@ -1,0 +1,49 @@
+"""Tests for the sparkline renderer."""
+
+import math
+
+from repro.utils.sparkline import labeled_sparkline, sparkline
+
+
+class TestSparkline:
+    def test_monotone_series_monotone_bars(self):
+        line = sparkline([1, 2, 3, 4, 5, 6, 7, 8])
+        assert line == "▁▂▃▄▅▆▇█"
+
+    def test_constant_series_mid_bar(self):
+        assert sparkline([5, 5, 5]) == "▄▄▄"
+
+    def test_length_matches_input(self):
+        assert len(sparkline(list(range(17)))) == 17
+
+    def test_non_finite_rendered_as_space(self):
+        line = sparkline([1.0, math.inf, 2.0, float("nan"), 3.0])
+        assert line[1] == " "
+        assert line[3] == " "
+
+    def test_all_non_finite(self):
+        assert sparkline([math.inf, math.nan]) == "  "
+
+    def test_log_scale_compresses_outliers(self):
+        linear = sparkline([1, 1, 1, 1000])
+        logged = sparkline([1, 1, 1, 1000], log=True)
+        # On the linear scale the small values collapse to the lowest bar;
+        # the log scale lifts them.
+        assert linear[:3] == "▁▁▁"
+        assert logged[0] != "█"
+
+    def test_extremes_use_extreme_bars(self):
+        line = sparkline([0, 10])
+        assert line[0] == "▁"
+        assert line[1] == "█"
+
+
+class TestLabeledSparkline:
+    def test_contains_label_and_range(self):
+        out = labeled_sparkline("RA", [1.0, 2.0, 4.0])
+        assert out.startswith("RA")
+        assert "1.00..4.00" in out
+
+    def test_empty_finite_range(self):
+        out = labeled_sparkline("X", [math.nan])
+        assert out.rstrip().endswith("-")
