@@ -10,6 +10,9 @@ Environment knobs:
 - ``REPRO_SCALE``  (default 0.75): multiplies trace sizes.
 - ``REPRO_STEPS``  (default 6): prediction steps evaluated per network.
 - ``REPRO_SEED``   (default 3): trace generation seed.
+- ``REPRO_JOBS``   (default 1): worker processes for the metric sweep.
+  Each sweep cell seeds its own RNG (``default_rng(1000 + step)``), so
+  any job count produces identical sweep results.
 
 Results are also written to ``benchmarks/results/*.txt`` so the tables
 survive pytest's output capture.
@@ -18,6 +21,7 @@ survive pytest's output capture.
 from __future__ import annotations
 
 import os
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -29,11 +33,14 @@ from repro.eval.experiment import MetricStepResult, evaluate_step, prediction_st
 from repro.generators import presets
 from repro.graph.snapshots import Snapshot, snapshot_sequence
 from repro.metrics import FIGURE5_METRICS
+from repro.metrics.base import get_metric
+from repro.metrics.candidates import prewarm_candidate_caches
 from repro.utils.pairs import Pair
 
 SCALE = float(os.environ.get("REPRO_SCALE", "0.75"))
 STEPS = int(os.environ.get("REPRO_STEPS", "6"))
 SEED = int(os.environ.get("REPRO_SEED", "3"))
+JOBS = int(os.environ.get("REPRO_JOBS", "1"))
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -59,9 +66,13 @@ class NetworkData:
     eval_indices: list[int]  # which steps the sweep evaluates
 
 
-@pytest.fixture(scope="session")
-def networks() -> dict[str, NetworkData]:
-    """The three calibrated traces with their snapshot sequences."""
+def build_networks() -> dict[str, NetworkData]:
+    """Deterministically rebuild the three traces from the env knobs.
+
+    Called by the session fixture *and* by sweep worker processes: the
+    traces are pure functions of (SCALE, SEED), so a worker reconstructing
+    them locally sees byte-identical snapshots without any pickling.
+    """
     out = {}
     for name in NETWORKS:
         trace = presets.load(name, scale=SCALE, seed=SEED)
@@ -80,21 +91,60 @@ def networks() -> dict[str, NetworkData]:
 
 
 @pytest.fixture(scope="session")
+def networks() -> dict[str, NetworkData]:
+    """The three calibrated traces with their snapshot sequences."""
+    return build_networks()
+
+
+def _sweep_cell(data: NetworkData, metric: str, i: int) -> MetricStepResult:
+    """One sweep evaluation; the per-cell RNG makes cells order-free."""
+    prev, _, truth = data.steps[i]
+    return evaluate_step(metric, prev, truth, rng=np.random.default_rng(1000 + i), step=i)
+
+
+#: per-worker rebuilt networks for the parallel sweep (REPRO_JOBS > 1).
+_WORKER_NETWORKS: "dict[str, NetworkData] | None" = None
+
+
+def _init_sweep_worker() -> None:
+    global _WORKER_NETWORKS
+    _WORKER_NETWORKS = build_networks()
+    strategies = tuple(get_metric(m).candidate_strategy for m in FIGURE5_METRICS)
+    for data in _WORKER_NETWORKS.values():
+        for i in data.eval_indices:
+            prewarm_candidate_caches(data.steps[i][0], strategies)
+
+
+def _run_sweep_cell(cell: "tuple[str, str, int]") -> MetricStepResult:
+    name, metric, i = cell
+    return _sweep_cell(_WORKER_NETWORKS[name], metric, i)
+
+
+@pytest.fixture(scope="session")
 def metric_sweep(networks) -> dict[str, dict[str, list[MetricStepResult]]]:
     """Every Figure 5 metric evaluated on every selected step of every
-    network — the shared substrate of Figs. 5-8 and Tables 4-5."""
+    network — the shared substrate of Figs. 5-8 and Tables 4-5.
+
+    With ``REPRO_JOBS > 1`` the cells are dispatched over a process pool;
+    each cell's RNG depends only on its step index, so the sweep is
+    identical for any job count.
+    """
+    cells = [
+        (name, metric, i)
+        for name in networks
+        for metric in FIGURE5_METRICS
+        for i in networks[name].eval_indices
+    ]
+    if JOBS > 1:
+        with ProcessPoolExecutor(
+            max_workers=min(JOBS, len(cells)), initializer=_init_sweep_worker
+        ) as pool:
+            results = list(pool.map(_run_sweep_cell, cells, chunksize=4))
+    else:
+        results = [_sweep_cell(networks[name], metric, i) for name, metric, i in cells]
     sweep: dict[str, dict[str, list[MetricStepResult]]] = {}
-    for name, data in networks.items():
-        sweep[name] = {}
-        for metric in FIGURE5_METRICS:
-            results = []
-            for j, i in enumerate(data.eval_indices):
-                prev, _, truth = data.steps[i]
-                rng = np.random.default_rng(1000 + i)
-                results.append(
-                    evaluate_step(metric, prev, truth, rng=rng, step=i)
-                )
-            sweep[name][metric] = results
+    for (name, metric, _i), result in zip(cells, results):
+        sweep.setdefault(name, {}).setdefault(metric, []).append(result)
     return sweep
 
 

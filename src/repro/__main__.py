@@ -6,6 +6,8 @@ generate   write a synthetic trace to a file (``u v t`` per line)
 evaluate   run one predictor over a trace's snapshot sequence
 compare    rank several metrics on one trace
 suggest    print top-k link recommendations for the latest snapshot
+report     markdown predictability report for a trace
+experiment run a JSON ``ExperimentSpec`` (``--jobs N`` parallelises it)
 
 Examples
 --------
@@ -13,6 +15,7 @@ Examples
     python -m repro evaluate --trace fb.txt --metric RA --delta 260
     python -m repro compare --dataset youtube --metrics Rescal,BRA,PA,JC
     python -m repro suggest --dataset facebook --metric RA -k 10
+    python -m repro experiment --spec spec.json --jobs 8 --out result.json
 """
 
 from __future__ import annotations
@@ -118,11 +121,11 @@ def cmd_experiment(args) -> int:
     from repro.eval.runner import ExperimentSpec, run_experiment
 
     spec = ExperimentSpec.load(args.spec)
-    result = run_experiment(spec)
+    result = run_experiment(spec, n_jobs=args.jobs)
     print(f"experiment: {spec.name} ({result.steps_evaluated} steps)")
     print(result.summary_table())
     if args.out:
-        result.save(args.out)
+        result.save(args.out, include_timing=args.include_timing)
         print(f"full results written to {args.out}")
     return 0
 
@@ -178,6 +181,18 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("experiment", help="run a JSON experiment spec")
     p.add_argument("--spec", required=True, help="path to an ExperimentSpec JSON file")
     p.add_argument("--out", help="write the full result JSON here")
+    p.add_argument(
+        "--jobs",
+        type=int,
+        help="worker processes (overrides the spec's n_jobs; 0 = one per "
+        "CPU core; results are identical for every value)",
+    )
+    p.add_argument(
+        "--include-timing",
+        action="store_true",
+        help="include the run's timing block in the --out JSON (off by "
+        "default so result files stay byte-identical across runs)",
+    )
     p.set_defaults(func=cmd_experiment)
     return parser
 

@@ -7,6 +7,12 @@ filter, then either
 - ``suggest(snapshot, k)`` — produce k link recommendations right now, or
 - ``evaluate_sequence(trace, delta)`` — run the paper's full
   sequence-based evaluation and get per-step accuracy ratios back.
+
+For batch experiment sweeps the declarative runner is re-exported here
+too: build an :class:`~repro.eval.runner.ExperimentSpec` and call
+:func:`~repro.eval.runner.run_experiment` — with ``n_jobs > 1`` it
+dispatches work cells over a process pool and returns results
+bit-identical to the serial path.
 """
 
 from __future__ import annotations
@@ -23,6 +29,7 @@ from repro.eval.experiment import (
     prediction_steps,
 )
 from repro.eval.ranking import top_k_pairs
+from repro.eval.runner import ExperimentResult, ExperimentSpec, run_experiment
 from repro.graph.dyngraph import TemporalGraph
 from repro.graph.snapshots import Snapshot, snapshot_sequence
 from repro.metrics.base import all_metric_names, get_metric
@@ -182,8 +189,11 @@ class LinkPredictor:
 __all__ = [
     "LinkPredictor",
     "ClassificationPredictor",
+    "ExperimentResult",
+    "ExperimentSpec",
     "SequenceResult",
     "SnapshotResult",
     "available_metrics",
     "available_classifiers",
+    "run_experiment",
 ]

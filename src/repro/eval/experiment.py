@@ -71,6 +71,12 @@ def evaluate_step(
     ``candidates`` overrides the metric's default candidate set (used by the
     snowball-sampled comparison of Section 5.3, where all methods must rank
     the same sampled pair universe).
+
+    When ``rng`` is an integer (as the experiment runner passes it), the
+    call is a pure function of its arguments: a fresh generator is built
+    here and the snapshot caches only memoise deterministic values.  The
+    parallel work-cell dispatcher (:mod:`repro.eval.parallel`) depends on
+    this to evaluate steps in any order, in any process, bit-identically.
     """
     if isinstance(metric, str):
         metric = get_metric(metric)

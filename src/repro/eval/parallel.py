@@ -1,0 +1,94 @@
+"""Process-pool dispatch of experiment work cells.
+
+The experiment runner (:mod:`repro.eval.runner`) decomposes a run into
+independent ``(metric, step, seed)`` cells whose RNGs derive purely from
+the spec.  This module schedules those cells over a
+:class:`concurrent.futures.ProcessPoolExecutor`.
+
+Two design decisions keep the hot path cheap and the results exact:
+
+- **Workers rebuild, cells stay tiny.**  Each worker receives the spec
+  (as JSON) once, in its initializer, and reconstructs the full
+  :class:`~repro.eval.runner.ExperimentPlan` — trace, snapshots, filter
+  calibration — locally.  Cells then cross the process boundary as three
+  scalars and results as a flat :class:`~repro.eval.runner.CellResult`,
+  instead of pickling multi-megabyte snapshot objects per task.
+
+- **Caches are pre-warmed per worker.**  Right after building its plan, a
+  worker materialises every step snapshot's dense adjacency and the
+  candidate-pair caches the spec's metrics will ask for
+  (:func:`repro.metrics.candidates.prewarm_candidate_caches`).  Every
+  cell dispatched to that worker thereafter hits warm caches, exactly as
+  late cells do in the serial loop.  Pre-warm cache misses happen before
+  any cell starts and are deliberately not attributed to cell counters.
+
+Determinism does not depend on scheduling: any cell ordering reduces to
+the same result (see ``reduce_cells``), which the property-based parity
+suite in ``tests/test_parallel_parity.py`` verifies against the serial
+path.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.eval.runner import (
+    Cell,
+    CellResult,
+    ExperimentPlan,
+    ExperimentSpec,
+    build_plan,
+    execute_cell,
+)
+from repro.metrics.base import get_metric
+from repro.metrics.candidates import prewarm_candidate_caches
+
+#: per-worker-process plan, built once by :func:`_init_worker`.
+_WORKER_PLAN: "ExperimentPlan | None" = None
+
+
+def prewarm_plan(plan: ExperimentPlan) -> None:
+    """Materialise every snapshot cache the plan's cells will touch."""
+    strategies = tuple(
+        get_metric(name).candidate_strategy for name in plan.spec.metrics
+    )
+    for prev, _current, _truth in plan.steps:
+        prewarm_candidate_caches(prev, strategies)
+
+
+def _init_worker(spec_json: str) -> None:
+    """Worker initializer: rebuild the plan from the spec and warm caches."""
+    global _WORKER_PLAN
+    spec = ExperimentSpec.from_json(spec_json)
+    plan = build_plan(spec)
+    prewarm_plan(plan)
+    _WORKER_PLAN = plan
+
+
+def _run_cell(cell: Cell) -> CellResult:
+    if _WORKER_PLAN is None:  # pragma: no cover - initializer always ran
+        raise RuntimeError("worker used before its plan was initialised")
+    return execute_cell(_WORKER_PLAN, cell)
+
+
+def run_cells_parallel(
+    spec: ExperimentSpec, cells: Sequence[Cell], n_jobs: int
+) -> list[CellResult]:
+    """Execute ``cells`` over ``n_jobs`` worker processes.
+
+    Results come back in submission order (``Executor.map`` semantics), so
+    the caller's reduction sees the same sequence the serial loop would
+    produce.  ``n_jobs`` is capped at the cell count; chunking amortises
+    IPC for the many-small-cells regime typical of metric sweeps.
+    """
+    if n_jobs < 2:
+        raise ValueError(f"run_cells_parallel needs n_jobs >= 2, got {n_jobs}")
+    workers = min(n_jobs, len(cells))
+    chunksize = max(1, len(cells) // (workers * 4))
+    with ProcessPoolExecutor(
+        max_workers=workers,
+        initializer=_init_worker,
+        initargs=(spec.to_json(),),
+    ) as pool:
+        return list(pool.map(_run_cell, cells, chunksize=chunksize))

@@ -7,6 +7,15 @@ dataset, sequencing, metric list, repeat seeds, optional temporal filter —
 and ``run_experiment`` executes it into an ``ExperimentResult`` that
 serialises losslessly.
 
+Execution is decomposed into independent ``(metric, step, seed)`` *work
+cells*: every cell derives its RNG purely from the spec
+(``seed * 1009 + step``, see :func:`cell_rng_seed`), so cells can run in
+any order — or in parallel processes (``n_jobs`` / ``--jobs``, dispatched
+by :mod:`repro.eval.parallel`) — and reduce to results bit-identical to
+the serial loop.  Yang et al. (*Evaluating Link Prediction Methods*) show
+evaluation-protocol drift silently changes conclusions; the parity is
+therefore enforced by a property-based test suite rather than assumed.
+
 The CLI front-end is ``python -m repro experiment --spec spec.json``.
 """
 
@@ -14,17 +23,33 @@ from __future__ import annotations
 
 import json
 import os
+import time
+from collections.abc import Iterator, Sequence
 from dataclasses import asdict, dataclass, field
 
 import numpy as np
 
-from repro.eval.experiment import evaluate_step, prediction_steps
+from repro.eval.experiment import PairFilter, evaluate_step, prediction_steps
 from repro.generators import presets
 from repro.graph.io import read_trace
-from repro.graph.snapshots import snapshot_sequence
-from repro.metrics.base import all_metric_names
+from repro.graph.snapshots import Snapshot, snapshot_sequence
+from repro.metrics.base import all_metric_names, cache_stats
 from repro.metrics.candidates import two_hop_pairs
 from repro.temporal import TemporalFilter, calibrate_filter
+from repro.utils.pairs import Pair
+
+#: one unit of schedulable work: (metric name, step index, repeat seed).
+Cell = tuple[str, int, int]
+
+
+def cell_rng_seed(seed: int, step: int) -> int:
+    """The RNG seed of one work cell — the single source of truth.
+
+    ``seed * 1009 + step`` is the seeding scheme the original serial loop
+    used; both the serial and the parallel path call this function, so the
+    published numbers cannot drift between the two.
+    """
+    return seed * 1009 + step
 
 
 @dataclass
@@ -44,6 +69,9 @@ class ExperimentSpec:
     max_steps: "int | None" = None
     #: calibrate and apply a temporal filter (Section 6) as well.
     with_filter: bool = False
+    #: worker processes for execution (1 = serial, 0 = one per CPU core).
+    #: An execution hint only: results are identical for every value.
+    n_jobs: int = 1
 
     def validate(self) -> None:
         unknown = [m for m in self.metrics if m not in all_metric_names()]
@@ -53,6 +81,8 @@ class ExperimentSpec:
             raise ValueError("repeats must be >= 1")
         if self.scale <= 0:
             raise ValueError("scale must be positive")
+        if self.n_jobs < 0:
+            raise ValueError("n_jobs must be >= 0 (0 means one per CPU core)")
 
     # -- persistence ----------------------------------------------------
     def to_json(self) -> str:
@@ -95,6 +125,59 @@ class MetricSeries:
 
 
 @dataclass
+class RunTiming:
+    """Lightweight instrumentation of one ``run_experiment`` execution.
+
+    Execution metadata, *not* part of the experiment's scientific output:
+    two runs of the same spec produce identical series but different
+    timings, which is why :meth:`ExperimentResult.to_json` excludes this
+    block unless asked (``include_timing=True``).
+    """
+
+    n_jobs: int = 1
+    wall_seconds: float = 0.0
+    #: number of (metric, step, seed) work cells executed.
+    cells: int = 0
+    #: summed per-cell wall time (> wall_seconds means parallelism won).
+    cell_seconds: float = 0.0
+    max_cell_seconds: float = 0.0
+    #: snapshot-cache memoisation counters accumulated over the cells.
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    def to_payload(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "RunTiming":
+        known = {f for f in cls.__dataclass_fields__}
+        return cls(**{k: v for k, v in payload.items() if k in known})
+
+    def summary(self) -> str:
+        return (
+            f"[timing] {self.cells} cells in {self.wall_seconds:.2f}s wall "
+            f"(n_jobs={self.n_jobs}, cell time {self.cell_seconds:.2f}s, "
+            f"max cell {self.max_cell_seconds:.3f}s, "
+            f"cache {self.cache_hits} hits / {self.cache_misses} misses)"
+        )
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """Outcome of one work cell, small and picklable for worker transport."""
+
+    metric: str
+    step: int
+    seed: int
+    ratio: float
+    absolute: float
+    filtered_ratio: "float | None"
+    wall_seconds: float
+    cache_hits: int
+    cache_misses: int
+
+
+@dataclass
 class ExperimentResult:
     """Everything ``run_experiment`` produces, JSON-serialisable."""
 
@@ -102,6 +185,8 @@ class ExperimentResult:
     num_snapshots: int
     steps_evaluated: int
     series: dict[str, MetricSeries] = field(default_factory=dict)
+    #: execution metadata; excluded from canonical JSON (see RunTiming).
+    timing: "RunTiming | None" = None
 
     def ranking(self) -> list[str]:
         """Metrics sorted by mean accuracy ratio, best first."""
@@ -118,10 +203,19 @@ class ExperimentResult:
             lines.append(
                 f"{name:10s} {s.mean_ratio:11.2f} {100 * best_abs:8.2f}% {filtered}"
             )
+        if self.timing is not None:
+            lines.append(self.timing.summary())
         return "\n".join(lines)
 
     # -- persistence ----------------------------------------------------
-    def to_json(self) -> str:
+    def to_json(self, include_timing: bool = False) -> str:
+        """Serialise the result.
+
+        The default payload is *canonical*: it contains only the spec and
+        the numbers it determines, so the same spec always produces
+        byte-identical JSON regardless of ``n_jobs`` or machine load.
+        ``include_timing=True`` appends the execution-metadata block.
+        """
         payload = {
             "spec": json.loads(self.spec.to_json()),
             "num_snapshots": self.num_snapshots,
@@ -135,6 +229,8 @@ class ExperimentResult:
                 for name, s in self.series.items()
             },
         }
+        if include_timing and self.timing is not None:
+            payload["timing"] = self.timing.to_payload()
         return json.dumps(payload, indent=2)
 
     @classmethod
@@ -151,13 +247,31 @@ class ExperimentResult:
                 metric=name,
                 ratios=data["ratios"],
                 absolutes=data["absolutes"],
-                filtered_ratios=data["filtered_ratios"],
+                filtered_ratios=data.get("filtered_ratios"),
             )
+        if payload.get("timing") is not None:
+            result.timing = RunTiming.from_payload(payload["timing"])
         return result
 
-    def save(self, path: "str | os.PathLike[str]") -> None:
+    def save(self, path: "str | os.PathLike[str]", include_timing: bool = False) -> None:
         with open(path, "w", encoding="utf-8") as fh:
-            fh.write(self.to_json() + "\n")
+            fh.write(self.to_json(include_timing=include_timing) + "\n")
+
+
+@dataclass
+class ExperimentPlan:
+    """Materialised execution context of one spec: steps plus filter.
+
+    Built identically in the driver and in every worker process (both call
+    :func:`build_plan` on the same spec), so work cells can be shipped as
+    plain ``(metric, step_index, seed)`` tuples instead of pickled
+    snapshots.
+    """
+
+    spec: ExperimentSpec
+    num_snapshots: int
+    steps: "list[tuple[Snapshot, Snapshot, set[Pair]]]"
+    pair_filter: "PairFilter | None" = None
 
 
 def _load_trace(spec: ExperimentSpec):
@@ -166,8 +280,13 @@ def _load_trace(spec: ExperimentSpec):
     return read_trace(spec.dataset)
 
 
-def run_experiment(spec: ExperimentSpec) -> ExperimentResult:
-    """Execute one spec end to end."""
+def build_plan(spec: ExperimentSpec) -> ExperimentPlan:
+    """Load the trace, slice snapshots, and calibrate the optional filter.
+
+    Everything here is a pure function of the spec (filter calibration is
+    pinned to ``rng=0``), which is what makes worker-side reconstruction
+    safe: any process holding the spec derives the identical plan.
+    """
     spec.validate()
     trace = _load_trace(spec)
     delta = spec.delta
@@ -192,34 +311,135 @@ def run_experiment(spec: ExperimentSpec) -> ExperimentResult:
         pair_filter = TemporalFilter(
             calibrate_filter(cal_prev, cal_truth, two_hop_pairs(cal_prev), rng=0)
         )
+    return ExperimentPlan(
+        spec=spec,
+        num_snapshots=len(snapshots),
+        steps=steps,
+        pair_filter=pair_filter,
+    )
 
+
+def iter_cells(spec: ExperimentSpec, num_steps: int) -> Iterator[Cell]:
+    """Enumerate the run's work cells in the serial loop's order."""
+    for metric in spec.metrics:
+        for step in range(num_steps):
+            for seed in range(spec.repeats):
+                yield (metric, step, seed)
+
+
+def execute_cell(plan: ExperimentPlan, cell: Cell) -> CellResult:
+    """Run one ``(metric, step, seed)`` cell against a plan.
+
+    This is the only place cells are evaluated — serial loop and process
+    pool both call it — so the RNG derivation and the filtered/unfiltered
+    call order are the same on every path by construction.
+    """
+    metric, step, seed = cell
+    before = cache_stats()
+    started = time.perf_counter()
+    prev, _, truth = plan.steps[step]
+    outcome = evaluate_step(
+        metric, prev, truth, rng=cell_rng_seed(seed, step), step=step
+    )
+    filtered_ratio = None
+    if plan.pair_filter is not None:
+        filtered_ratio = evaluate_step(
+            metric,
+            prev,
+            truth,
+            rng=cell_rng_seed(seed, step),
+            pair_filter=plan.pair_filter,
+            step=step,
+        ).ratio
+    wall = time.perf_counter() - started
+    after = cache_stats()
+    return CellResult(
+        metric=metric,
+        step=step,
+        seed=seed,
+        ratio=outcome.ratio,
+        absolute=outcome.absolute,
+        filtered_ratio=filtered_ratio,
+        wall_seconds=wall,
+        cache_hits=after["hits"] - before["hits"],
+        cache_misses=after["misses"] - before["misses"],
+    )
+
+
+def reduce_cells(
+    plan: ExperimentPlan, results: Sequence[CellResult]
+) -> ExperimentResult:
+    """Fold cell results into an ``ExperimentResult``.
+
+    Per-(metric, step) aggregation averages over seeds *in seed order*,
+    reproducing the serial loop's ``float(np.mean([...]))`` reduction
+    bit for bit no matter what order the cells finished in.
+    """
+    spec = plan.spec
+    by_key: dict[tuple[str, int], list[CellResult]] = {}
+    for cell in results:
+        by_key.setdefault((cell.metric, cell.step), []).append(cell)
     result = ExperimentResult(
-        spec=spec, num_snapshots=len(snapshots), steps_evaluated=len(steps)
+        spec=spec, num_snapshots=plan.num_snapshots, steps_evaluated=len(plan.steps)
     )
     for metric in spec.metrics:
         series = MetricSeries(metric=metric)
         if spec.with_filter:
             series.filtered_ratios = []
-        for i, (prev, _, truth) in enumerate(steps):
-            ratios, absolutes, filtered = [], [], []
-            for seed in range(spec.repeats):
-                step = evaluate_step(metric, prev, truth, rng=seed * 1009 + i, step=i)
-                ratios.append(step.ratio)
-                absolutes.append(step.absolute)
-                if pair_filter is not None:
-                    filtered.append(
-                        evaluate_step(
-                            metric,
-                            prev,
-                            truth,
-                            rng=seed * 1009 + i,
-                            pair_filter=pair_filter,
-                            step=i,
-                        ).ratio
-                    )
-            series.ratios.append(float(np.mean(ratios)))
-            series.absolutes.append(float(np.mean(absolutes)))
-            if pair_filter is not None:
-                series.filtered_ratios.append(float(np.mean(filtered)))
+        for step in range(len(plan.steps)):
+            cells = sorted(by_key[(metric, step)], key=lambda c: c.seed)
+            if len(cells) != spec.repeats:
+                raise RuntimeError(
+                    f"cell results for ({metric!r}, step {step}) are incomplete: "
+                    f"got {len(cells)} of {spec.repeats}"
+                )
+            series.ratios.append(float(np.mean([c.ratio for c in cells])))
+            series.absolutes.append(float(np.mean([c.absolute for c in cells])))
+            if spec.with_filter:
+                series.filtered_ratios.append(
+                    float(np.mean([c.filtered_ratio for c in cells]))
+                )
         result.series[metric] = series
+    return result
+
+
+def _resolve_jobs(spec: ExperimentSpec, n_jobs: "int | None") -> int:
+    jobs = spec.n_jobs if n_jobs is None else n_jobs
+    if jobs < 0:
+        raise ValueError("n_jobs must be >= 0 (0 means one per CPU core)")
+    if jobs == 0:
+        jobs = os.cpu_count() or 1
+    return max(1, jobs)
+
+
+def run_experiment(spec: ExperimentSpec, n_jobs: "int | None" = None) -> ExperimentResult:
+    """Execute one spec end to end.
+
+    ``n_jobs`` overrides ``spec.n_jobs`` without mutating the spec (so the
+    stored spec — and therefore the canonical result JSON — is independent
+    of how the run was scheduled).  Any value produces identical results;
+    values above 1 dispatch work cells over a process pool.
+    """
+    spec.validate()
+    jobs = _resolve_jobs(spec, n_jobs)
+    started = time.perf_counter()
+    plan = build_plan(spec)
+    cells = list(iter_cells(spec, len(plan.steps)))
+    if jobs > 1 and len(cells) > 1:
+        from repro.eval.parallel import run_cells_parallel
+
+        cell_results = run_cells_parallel(spec, cells, jobs)
+    else:
+        jobs = 1
+        cell_results = [execute_cell(plan, cell) for cell in cells]
+    result = reduce_cells(plan, cell_results)
+    result.timing = RunTiming(
+        n_jobs=jobs,
+        wall_seconds=time.perf_counter() - started,
+        cells=len(cell_results),
+        cell_seconds=float(sum(c.wall_seconds for c in cell_results)),
+        max_cell_seconds=float(max(c.wall_seconds for c in cell_results)),
+        cache_hits=sum(c.cache_hits for c in cell_results),
+        cache_misses=sum(c.cache_misses for c in cell_results),
+    )
     return result

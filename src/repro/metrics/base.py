@@ -27,6 +27,28 @@ import scipy.sparse as sp
 from repro.graph.snapshots import Snapshot
 
 
+#: process-wide cache instrumentation (see :func:`cache_stats`).  Counters
+#: rather than per-snapshot state so the experiment runner can report hit
+#: rates across a whole run — including runs whose snapshots live in worker
+#: processes — with a single pair of integers.
+_CACHE_COUNTS = {"hits": 0, "misses": 0}
+
+
+def cache_stats() -> dict[str, int]:
+    """Snapshot of the process-wide memoisation counters.
+
+    Returns ``{"hits": ..., "misses": ...}`` accumulated by :func:`cached`
+    since interpreter start (or the last :func:`reset_cache_stats`).
+    """
+    return dict(_CACHE_COUNTS)
+
+
+def reset_cache_stats() -> None:
+    """Zero the process-wide cache counters (used by tests and workers)."""
+    _CACHE_COUNTS["hits"] = 0
+    _CACHE_COUNTS["misses"] = 0
+
+
 def cached(snapshot: Snapshot, key: str, compute: Callable[[], object]):
     """Memoise an expensive per-snapshot precomputation on the snapshot.
 
@@ -35,7 +57,10 @@ def cached(snapshot: Snapshot, key: str, compute: Callable[[], object]):
     evaluation pays for each block once.
     """
     if key not in snapshot.cache:
+        _CACHE_COUNTS["misses"] += 1
         snapshot.cache[key] = compute()
+    else:
+        _CACHE_COUNTS["hits"] += 1
     return snapshot.cache[key]
 
 

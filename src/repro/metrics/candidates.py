@@ -45,6 +45,21 @@ def all_nonedge_pairs(snapshot: Snapshot) -> np.ndarray:
     return cached(snapshot, "pairs_all", compute)
 
 
+def prewarm_candidate_caches(
+    snapshot: Snapshot, strategies: "tuple[str, ...]" = ("two_hop",)
+) -> None:
+    """Materialise the candidate caches a run will need, ahead of time.
+
+    The parallel experiment runner calls this once per snapshot per worker
+    process so every ``(metric, step, seed)`` work cell dispatched to that
+    worker finds the dense adjacency and candidate-pair arrays already
+    cached, instead of each first-arriving cell paying the O(n^2) build.
+    """
+    dense_adjacency(snapshot)
+    for strategy in set(strategies):
+        candidate_pairs(snapshot, strategy)
+
+
 def candidate_pairs(snapshot: Snapshot, strategy: str) -> np.ndarray:
     """Dispatch on a metric's ``candidate_strategy``."""
     if strategy == "two_hop":

@@ -8,6 +8,7 @@ from repro.eval.runner import (
     ExperimentResult,
     ExperimentSpec,
     MetricSeries,
+    RunTiming,
     run_experiment,
 )
 
@@ -113,3 +114,90 @@ class TestMetricSeries:
         series = MetricSeries(metric="CN")
         assert series.mean_ratio == 0.0
         assert series.mean_filtered_ratio is None
+
+
+class TestResultRoundTrip:
+    """`ExperimentResult.from_json` -> `MetricSeries` edge cases."""
+
+    def make_result(self, **series_kwargs) -> ExperimentResult:
+        result = ExperimentResult(
+            spec=small_spec(), num_snapshots=4, steps_evaluated=3
+        )
+        result.series["CN"] = MetricSeries(
+            metric="CN", ratios=[1.0, 2.0, 3.0], absolutes=[0.1, 0.2, 0.3],
+            **series_kwargs,
+        )
+        return result
+
+    def test_filtered_none_survives_round_trip(self):
+        loaded = ExperimentResult.from_json(
+            self.make_result(filtered_ratios=None).to_json()
+        )
+        assert loaded.series["CN"].filtered_ratios is None
+        assert loaded.series["CN"].mean_filtered_ratio is None
+
+    def test_filtered_empty_list_survives_round_trip(self):
+        """`filtered_ratios=[]` (filter on, zero steps recorded) must not
+        collapse to None: the distinction encodes whether the filter ran."""
+        loaded = ExperimentResult.from_json(
+            self.make_result(filtered_ratios=[]).to_json()
+        )
+        assert loaded.series["CN"].filtered_ratios == []
+        assert loaded.series["CN"].filtered_ratios is not None
+
+    def test_filtered_values_survive_round_trip(self):
+        loaded = ExperimentResult.from_json(
+            self.make_result(filtered_ratios=[1.5, 2.5, 3.5]).to_json()
+        )
+        assert loaded.series["CN"].filtered_ratios == [1.5, 2.5, 3.5]
+
+    def test_missing_filtered_key_defaults_to_none(self):
+        """Result files written before the filtered field existed load."""
+        payload = json.loads(self.make_result().to_json())
+        del payload["series"]["CN"]["filtered_ratios"]
+        loaded = ExperimentResult.from_json(json.dumps(payload))
+        assert loaded.series["CN"].filtered_ratios is None
+
+    def test_empty_series_summary_table(self):
+        """A series with no evaluated steps renders without crashing."""
+        result = ExperimentResult(spec=small_spec(), num_snapshots=1, steps_evaluated=0)
+        result.series["CN"] = MetricSeries(metric="CN")
+        table = result.summary_table()
+        assert "CN" in table and "0.00" in table
+
+    def test_no_series_summary_table(self):
+        result = ExperimentResult(spec=small_spec(), num_snapshots=1, steps_evaluated=0)
+        assert result.summary_table().startswith("metric")
+
+    def test_timing_excluded_from_canonical_json(self):
+        result = self.make_result()
+        result.timing = RunTiming(n_jobs=2, wall_seconds=1.0, cells=6)
+        assert "timing" not in json.loads(result.to_json())
+        assert ExperimentResult.from_json(result.to_json()).timing is None
+
+    def test_timing_round_trips_when_included(self):
+        result = self.make_result()
+        result.timing = RunTiming(
+            n_jobs=2, wall_seconds=1.25, cells=6, cell_seconds=2.0,
+            max_cell_seconds=0.5, cache_hits=10, cache_misses=4,
+        )
+        loaded = ExperimentResult.from_json(result.to_json(include_timing=True))
+        assert loaded.timing == result.timing
+        assert "cache 10 hits / 4 misses" in loaded.summary_table()
+
+    def test_save_round_trips_via_file(self, tmp_path):
+        result = self.make_result(filtered_ratios=[])
+        result.timing = RunTiming(n_jobs=1, wall_seconds=0.5, cells=6)
+        path = tmp_path / "result.json"
+        result.save(path, include_timing=True)
+        loaded = ExperimentResult.from_json(path.read_text())
+        assert loaded.series["CN"].filtered_ratios == []
+        assert loaded.timing == result.timing
+
+    def test_spec_n_jobs_round_trips(self):
+        spec = small_spec(n_jobs=4)
+        assert ExperimentSpec.from_json(spec.to_json()).n_jobs == 4
+        # specs written before n_jobs existed still load (default 1)
+        payload = json.loads(small_spec().to_json())
+        del payload["n_jobs"]
+        assert ExperimentSpec.from_json(json.dumps(payload)).n_jobs == 1

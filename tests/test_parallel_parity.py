@@ -1,0 +1,194 @@
+"""Property-based parity suite: parallel experiment runs == serial runs.
+
+Yang et al. (*Evaluating Link Prediction Methods*) document how silent
+evaluation-protocol changes move published numbers; parallelising the
+runner is exactly such a change waiting to happen.  These tests pin the
+guarantee the parallel engine claims: for any spec, dispatching the
+``(metric, step, seed)`` work cells over a process pool produces an
+``ExperimentResult`` whose canonical JSON is *byte-identical* to the
+serial loop's — ratios, absolutes, and filtered ratios included.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval.experiment import evaluate_step
+from repro.eval.runner import (
+    CellResult,
+    ExperimentSpec,
+    build_plan,
+    cell_rng_seed,
+    execute_cell,
+    iter_cells,
+    reduce_cells,
+    run_experiment,
+)
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+#: metrics cheap enough for a many-example property suite, covering both
+#: candidate strategies ("two_hop" for CN/RA/JC, "all" for PA).
+FAST_METRICS = ("CN", "PA", "RA", "JC")
+
+
+@st.composite
+def small_specs(draw) -> ExperimentSpec:
+    """Randomised small-but-real experiment specs."""
+    metrics = draw(
+        st.lists(st.sampled_from(FAST_METRICS), min_size=1, max_size=3, unique=True)
+    )
+    return ExperimentSpec(
+        name="parity",
+        dataset=draw(st.sampled_from(["facebook", "youtube"])),
+        scale=draw(st.sampled_from([0.1, 0.15])),
+        generation_seed=draw(st.integers(min_value=0, max_value=3)),
+        metrics=tuple(metrics),
+        repeats=draw(st.integers(min_value=1, max_value=2)),
+        max_steps=draw(st.integers(min_value=1, max_value=2)),
+        with_filter=draw(st.booleans()),
+    )
+
+
+# ---------------------------------------------------------------------------
+# The headline property
+# ---------------------------------------------------------------------------
+class TestParallelParity:
+    @given(small_specs())
+    @settings(max_examples=5, deadline=None)
+    def test_parallel_bit_identical_to_serial(self, spec):
+        serial = run_experiment(spec, n_jobs=1)
+        parallel = run_experiment(spec, n_jobs=2)
+        assert parallel.to_json() == serial.to_json()
+        for name in serial.series:
+            assert parallel.series[name].ratios == serial.series[name].ratios
+            assert parallel.series[name].absolutes == serial.series[name].absolutes
+            assert (
+                parallel.series[name].filtered_ratios
+                == serial.series[name].filtered_ratios
+            )
+
+    @pytest.mark.parametrize("dataset", ["facebook", "renren", "youtube"])
+    def test_all_three_presets_bit_identical(self, dataset):
+        """The acceptance-criterion case: every preset, parallel == serial."""
+        spec = ExperimentSpec(
+            name=f"parity-{dataset}",
+            dataset=dataset,
+            scale=0.1,
+            generation_seed=1,
+            metrics=("CN", "RA", "PA"),
+            repeats=2,
+            max_steps=2,
+        )
+        serial = run_experiment(spec, n_jobs=1)
+        parallel = run_experiment(spec, n_jobs=2)
+        assert parallel.to_json() == serial.to_json()
+
+    def test_spec_n_jobs_field_is_honoured_and_pure(self):
+        """``spec.n_jobs`` schedules the run but never leaks into results."""
+        serial_spec = ExperimentSpec(scale=0.1, metrics=("CN",), repeats=2, max_steps=1)
+        parallel_spec = ExperimentSpec(
+            scale=0.1, metrics=("CN",), repeats=2, max_steps=1, n_jobs=2
+        )
+        serial = run_experiment(serial_spec)
+        parallel = run_experiment(parallel_spec)
+        assert serial.timing.n_jobs == 1
+        assert parallel.timing.n_jobs == 2
+        for name in serial.series:
+            assert parallel.series[name].ratios == serial.series[name].ratios
+
+    def test_timing_is_populated_on_both_paths(self):
+        spec = ExperimentSpec(scale=0.1, metrics=("CN", "PA"), repeats=2, max_steps=2)
+        for jobs in (1, 2):
+            timing = run_experiment(spec, n_jobs=jobs).timing
+            assert timing.cells == len(spec.metrics) * 2 * spec.repeats
+            assert timing.wall_seconds > 0
+            assert timing.cell_seconds > 0
+            assert timing.max_cell_seconds <= timing.cell_seconds
+            assert timing.cache_misses >= 0 and timing.cache_hits >= 0
+
+
+# ---------------------------------------------------------------------------
+# Seeding regression: the published numbers' RNG derivation
+# ---------------------------------------------------------------------------
+class TestSeedingRegression:
+    @given(st.integers(min_value=0, max_value=10**6), st.integers(min_value=0, max_value=10**4))
+    @settings(max_examples=50, deadline=None)
+    def test_cell_rng_seed_formula(self, seed, step):
+        """The dispatcher's seed derivation is exactly ``seed * 1009 + i``."""
+        assert cell_rng_seed(seed, step) == seed * 1009 + step
+
+    def test_parallel_matches_direct_evaluate_step_calls(self):
+        """End to end: a parallel run equals hand-rolled ``evaluate_step``
+        calls seeded ``seed * 1009 + i`` — the original serial scheme."""
+        spec = ExperimentSpec(
+            scale=0.15, generation_seed=3, metrics=("CN", "PA"), repeats=2, max_steps=2
+        )
+        parallel = run_experiment(spec, n_jobs=2)
+        plan = build_plan(spec)
+        for metric in spec.metrics:
+            for i, (prev, _, truth) in enumerate(plan.steps):
+                ratios, absolutes = [], []
+                for seed in range(spec.repeats):
+                    step = evaluate_step(
+                        metric, prev, truth, rng=seed * 1009 + i, step=i
+                    )
+                    ratios.append(step.ratio)
+                    absolutes.append(step.absolute)
+                assert parallel.series[metric].ratios[i] == float(np.mean(ratios))
+                assert parallel.series[metric].absolutes[i] == float(np.mean(absolutes))
+
+
+# ---------------------------------------------------------------------------
+# Cell plumbing invariants
+# ---------------------------------------------------------------------------
+class TestCellPlumbing:
+    def test_iter_cells_matches_serial_nesting_order(self):
+        spec = ExperimentSpec(metrics=("CN", "PA"), repeats=2)
+        cells = list(iter_cells(spec, 2))
+        assert cells == [
+            ("CN", 0, 0), ("CN", 0, 1), ("CN", 1, 0), ("CN", 1, 1),
+            ("PA", 0, 0), ("PA", 0, 1), ("PA", 1, 0), ("PA", 1, 1),
+        ]
+
+    def test_reduce_is_order_free(self):
+        """Shuffled cell completion order reduces to the same result."""
+        spec = ExperimentSpec(scale=0.1, metrics=("CN", "PA"), repeats=2, max_steps=2)
+        plan = build_plan(spec)
+        cells = [execute_cell(plan, c) for c in iter_cells(spec, len(plan.steps))]
+        in_order = reduce_cells(plan, cells)
+        scrambled = reduce_cells(plan, list(reversed(cells)))
+        assert scrambled.to_json() == in_order.to_json()
+
+    def test_reduce_rejects_incomplete_cells(self):
+        spec = ExperimentSpec(scale=0.1, metrics=("CN",), repeats=2, max_steps=1)
+        plan = build_plan(spec)
+        cells = [execute_cell(plan, c) for c in iter_cells(spec, len(plan.steps))]
+        with pytest.raises(RuntimeError, match="incomplete"):
+            reduce_cells(plan, cells[:-1])
+
+    def test_cell_results_are_picklable(self):
+        import pickle
+
+        cell = CellResult(
+            metric="CN", step=0, seed=1, ratio=1.5, absolute=0.1,
+            filtered_ratio=None, wall_seconds=0.01, cache_hits=3, cache_misses=1,
+        )
+        assert pickle.loads(pickle.dumps(cell)) == cell
+
+    def test_n_jobs_zero_means_auto(self):
+        spec = ExperimentSpec(scale=0.1, metrics=("CN",), repeats=2, max_steps=2, n_jobs=0)
+        result = run_experiment(spec)
+        import os
+
+        assert result.timing.n_jobs == max(1, os.cpu_count() or 1)
+
+    def test_negative_n_jobs_rejected(self):
+        with pytest.raises(ValueError, match="n_jobs"):
+            ExperimentSpec(n_jobs=-1).validate()
+        with pytest.raises(ValueError, match="n_jobs"):
+            run_experiment(ExperimentSpec(scale=0.1, metrics=("CN",)), n_jobs=-2)

@@ -1,0 +1,112 @@
+"""Property-based invariants for candidate-pair enumeration.
+
+``random_nonedge_pairs`` pads every under-supplied prediction and *is* the
+paper's random baseline, and ``two_hop_pairs`` defines the candidate
+universe of the whole common-neighbourhood family — so both get
+hypothesis-driven invariants on arbitrary small graphs rather than a few
+hand-picked cases.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.dyngraph import TemporalGraph
+from repro.graph.snapshots import Snapshot
+from repro.metrics.candidates import (
+    all_nonedge_pairs,
+    num_nonedge_pairs,
+    random_nonedge_pairs,
+    two_hop_pairs,
+)
+
+
+@st.composite
+def snapshots(draw, max_nodes=10, max_edges=24) -> Snapshot:
+    """Random small snapshots: unique undirected edges, increasing times."""
+    n = draw(st.integers(min_value=2, max_value=max_nodes))
+    possible = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    count = draw(st.integers(min_value=1, max_value=min(max_edges, len(possible))))
+    indices = draw(
+        st.lists(
+            st.integers(0, len(possible) - 1),
+            min_size=count,
+            max_size=count,
+            unique=True,
+        )
+    )
+    stream = [(possible[i][0], possible[i][1], float(t)) for t, i in enumerate(indices)]
+    trace = TemporalGraph.from_stream(stream)
+    return Snapshot(trace, trace.num_edges)
+
+
+class TestRandomNonedgePairsInvariants:
+    @given(snapshots(), st.integers(min_value=0, max_value=12), st.integers(0, 5))
+    @settings(max_examples=60, deadline=None)
+    def test_no_duplicates_no_edges_canonical(self, snapshot, k, seed):
+        pairs = random_nonedge_pairs(snapshot, k, rng=seed)
+        assert len(pairs) == len(set(pairs)) == min(k, num_nonedge_pairs(snapshot))
+        for u, v in pairs:
+            assert u < v
+            assert snapshot.has_node(u) and snapshot.has_node(v)
+            assert not snapshot.has_edge(u, v)
+
+    @given(snapshots(), st.integers(min_value=1, max_value=8), st.integers(0, 5))
+    @settings(max_examples=60, deadline=None)
+    def test_respects_exclude(self, snapshot, k, seed):
+        nonedges = [tuple(int(x) for x in p) for p in all_nonedge_pairs(snapshot)]
+        exclude = set(nonedges[: len(nonedges) // 2])
+        pairs = random_nonedge_pairs(snapshot, k, rng=seed, exclude=exclude)
+        assert not (set(pairs) & exclude)
+        # excluded pairs shrink the pool, and the result honours the shrunken pool
+        assert len(pairs) == min(k, num_nonedge_pairs(snapshot) - len(exclude))
+
+    @given(snapshots(max_nodes=6), st.integers(0, 5))
+    @settings(max_examples=40, deadline=None)
+    def test_k_shrinks_to_exhausted_pool(self, snapshot, seed):
+        """Asking for more pairs than exist returns exactly the whole pool."""
+        available = num_nonedge_pairs(snapshot)
+        pairs = random_nonedge_pairs(snapshot, available + 25, rng=seed)
+        assert len(pairs) == available
+        assert set(pairs) == {tuple(int(x) for x in p) for p in all_nonedge_pairs(snapshot)}
+
+
+class TestTwoHopPairsInvariants:
+    @given(snapshots())
+    @settings(max_examples=60, deadline=None)
+    def test_exactly_the_common_neighbour_nonedges(self, snapshot):
+        """Soundness + completeness: the 2-hop set is precisely the
+        unconnected pairs sharing at least one neighbour (a symmetric
+        relation, so canonical u < v storage loses nothing)."""
+        ours = {tuple(int(x) for x in p) for p in two_hop_pairs(snapshot)}
+        expected = set()
+        for u, v in (tuple(int(x) for x in p) for p in all_nonedge_pairs(snapshot)):
+            if snapshot.neighbors(u) & snapshot.neighbors(v):
+                expected.add((u, v))
+        assert ours == expected
+
+    @given(snapshots())
+    @settings(max_examples=60, deadline=None)
+    def test_disjoint_from_edges_and_canonical(self, snapshot):
+        pairs = two_hop_pairs(snapshot)
+        if len(pairs):
+            assert (pairs[:, 0] < pairs[:, 1]).all()
+        seen = {tuple(int(x) for x in p) for p in pairs}
+        assert len(seen) == len(pairs)
+        edges = {tuple(sorted(e)) for e in snapshot.edges()}
+        assert not (seen & edges)
+
+    @given(snapshots())
+    @settings(max_examples=30, deadline=None)
+    def test_symmetry_under_endpoint_swap(self, snapshot):
+        """Membership is symmetric: (u, v) two-hop iff (v, u) two-hop —
+        verified against the A^2 matrix both ways round."""
+        a = snapshot.adjacency_matrix().toarray()
+        a2 = a @ a
+        pos = snapshot.node_pos
+        for u, v in {tuple(int(x) for x in p) for p in two_hop_pairs(snapshot)}:
+            assert a2[pos[u], pos[v]] > 0
+            assert a2[pos[v], pos[u]] > 0
+            assert a[pos[u], pos[v]] == 0
