@@ -118,10 +118,33 @@ def cmd_report(args) -> int:
 
 
 def cmd_experiment(args) -> int:
+    from repro.eval.retry import RetryPolicy
     from repro.eval.runner import ExperimentSpec, run_experiment
 
     spec = ExperimentSpec.load(args.spec)
-    result = run_experiment(spec, n_jobs=args.jobs)
+    policy = RetryPolicy(
+        max_attempts=args.max_attempts, timeout_seconds=args.cell_timeout
+    )
+    try:
+        result = run_experiment(
+            spec, n_jobs=args.jobs, journal=args.journal, retry=policy
+        )
+    except KeyboardInterrupt:
+        # the journal is flushed per cell, so everything finished so far
+        # is already durable; tell the user how to pick the run back up.
+        if args.journal:
+            print(
+                f"\ninterrupted — completed cells are journaled; resume with "
+                f"--journal {args.journal}",
+                file=sys.stderr,
+            )
+        else:
+            print(
+                "\ninterrupted — re-run with --journal PATH to make runs "
+                "resumable",
+                file=sys.stderr,
+            )
+        return 130
     print(f"experiment: {spec.name} ({result.steps_evaluated} steps)")
     print(result.summary_table())
     if args.out:
@@ -193,13 +216,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="include the run's timing block in the --out JSON (off by "
         "default so result files stay byte-identical across runs)",
     )
+    p.add_argument(
+        "--journal",
+        help="append completed work cells to this JSONL file; re-running "
+        "with the same spec and journal resumes, executing only the "
+        "missing cells (results stay byte-identical to a clean run)",
+    )
+    p.add_argument(
+        "--cell-timeout",
+        type=float,
+        help="per-cell soft deadline in seconds (a hung cell is retried; "
+        "default: no timeout)",
+    )
+    p.add_argument(
+        "--max-attempts",
+        type=int,
+        default=3,
+        help="attempts per cell before the run fails (default 3; failed "
+        "attempts back off exponentially with deterministic jitter)",
+    )
     p.set_defaults(func=cmd_experiment)
     return parser
 
 
 def main(argv: "list[str] | None" = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except KeyboardInterrupt:
+        print("\ninterrupted", file=sys.stderr)
+        return 130
+    except (ValueError, OSError) as exc:
+        # spec mistakes and IO problems get one readable line, not a
+        # traceback (json.JSONDecodeError is a ValueError subclass).
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -20,6 +20,12 @@ from repro.eval.experiment import (
     prediction_steps,
 )
 from repro.eval.ranking import top_k_pairs
+from repro.eval.retry import (
+    CellExecutionError,
+    CellFailure,
+    CellTimeoutError,
+    RetryPolicy,
+)
 
 __all__ = [
     "StepOutcome",
@@ -31,4 +37,8 @@ __all__ = [
     "evaluate_step",
     "prediction_steps",
     "top_k_pairs",
+    "CellExecutionError",
+    "CellFailure",
+    "CellTimeoutError",
+    "RetryPolicy",
 ]

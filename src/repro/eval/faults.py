@@ -1,0 +1,202 @@
+"""Deterministic fault injection for the experiment runner.
+
+Recovery code that is only exercised by real outages is recovery code
+that does not work.  This module lets tests (and the curious, via the
+``REPRO_FAULTS`` environment variable) script failures precisely —
+"kill the worker on cell CN:0:0's first attempt", "delay RA:1:0 by two
+seconds", "raise in one cell per ~four, seeded" — so every recovery
+path in :mod:`repro.eval.parallel` and :mod:`repro.eval.runner` can be
+driven on demand and proven to reduce to byte-identical results.
+
+Determinism rules:
+
+- every injection is keyed by ``(cell, attempt)``; counted injections
+  fire on attempts ``0..n-1`` and then stop, so a retried cell always
+  eventually succeeds and tests terminate;
+- probabilistic injections hash ``(seed, cell)`` through sha256 — the
+  same cells fail in every run, in every process, regardless of
+  ``PYTHONHASHSEED`` — and fire only on attempt 0 so a retry budget of
+  two always suffices;
+- ``kill`` faults only fire inside pool worker processes (detected via
+  ``multiprocessing.parent_process()``); in the driver or the serial
+  loop they are inert, which is what lets the pool's serial-degradation
+  path complete a run whose workers keep dying.
+
+Fault kinds:
+
+``kill``   ``os._exit(KILL_EXIT_CODE)`` mid-cell — an OOM-kill stand-in;
+           the driver observes ``BrokenProcessPool`` and rebuilds.
+``errors`` raise :class:`InjectedFault` — an ordinary exception failure.
+``delays`` sleep before the cell — trips *soft* (in-process) deadlines.
+``hangs``  sleep while swallowing :class:`CellTimeoutError` — simulates
+           a wedged C call that the soft deadline cannot interrupt, so
+           only the driver's *hard* deadline can reclaim the worker.
+
+The plan travels to workers automatically: an installed plan is
+inherited by forked workers, and the environment variable reaches
+spawned ones.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+
+from repro.eval.retry import CellTimeoutError, _unit_hash, cell_key
+
+#: environment variable holding a FaultPlan as JSON.
+ENV_VAR = "REPRO_FAULTS"
+
+#: exit status used by ``kill`` faults — distinctive in worker post-mortems.
+KILL_EXIT_CODE = 87
+
+
+class InjectedFault(Exception):
+    """The scripted exception raised by ``errors``/``error_probability``."""
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A declarative script of failures, keyed by cell name.
+
+    Cell names are ``"metric:step:seed"`` (:func:`repro.eval.retry.cell_key`).
+    Counted maps (``kill``/``errors``) give the number of leading
+    attempts to sabotage; timed maps (``delays``/``hangs``) give
+    ``(seconds, attempts)``.
+    """
+
+    #: cell -> number of attempts on which to kill the worker process.
+    kill: "dict[str, int]" = field(default_factory=dict)
+    #: cell -> number of attempts on which to raise InjectedFault.
+    errors: "dict[str, int]" = field(default_factory=dict)
+    #: cell -> (sleep seconds, number of attempts to delay).
+    delays: "dict[str, tuple[float, int]]" = field(default_factory=dict)
+    #: cell -> (hang seconds, attempts); ignores the soft deadline.
+    hangs: "dict[str, tuple[float, int]]" = field(default_factory=dict)
+    #: chance of InjectedFault on any cell's first attempt (0 disables).
+    error_probability: float = 0.0
+    #: seed of the probabilistic injections' hash.
+    seed: int = 0
+
+    def validate(self) -> None:
+        if not 0.0 <= self.error_probability <= 1.0:
+            raise ValueError("error_probability must be within [0, 1]")
+        for name, table in (("delays", self.delays), ("hangs", self.hangs)):
+            for key, entry in table.items():
+                if len(tuple(entry)) != 2 or float(entry[0]) < 0:
+                    raise ValueError(
+                        f"{name}[{key!r}] must be a (seconds >= 0, attempts) pair"
+                    )
+
+    # -- persistence ----------------------------------------------------
+    def to_json(self) -> str:
+        payload = {
+            "kill": self.kill,
+            "errors": self.errors,
+            "delays": {k: list(v) for k, v in self.delays.items()},
+            "hangs": {k: list(v) for k, v in self.hangs.items()},
+            "error_probability": self.error_probability,
+            "seed": self.seed,
+        }
+        return json.dumps(payload)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        payload = json.loads(text)
+        plan = cls(
+            kill={k: int(v) for k, v in payload.get("kill", {}).items()},
+            errors={k: int(v) for k, v in payload.get("errors", {}).items()},
+            delays={
+                k: (float(v[0]), int(v[1]))
+                for k, v in payload.get("delays", {}).items()
+            },
+            hangs={
+                k: (float(v[0]), int(v[1]))
+                for k, v in payload.get("hangs", {}).items()
+            },
+            error_probability=float(payload.get("error_probability", 0.0)),
+            seed=int(payload.get("seed", 0)),
+        )
+        plan.validate()
+        return plan
+
+    @classmethod
+    def from_env(cls) -> "FaultPlan | None":
+        text = os.environ.get(ENV_VAR)
+        return cls.from_json(text) if text else None
+
+
+#: plan installed programmatically; wins over the environment variable.
+_INSTALLED: "FaultPlan | None" = None
+
+
+def install(plan: "FaultPlan | None") -> None:
+    """Activate ``plan`` process-wide (forked workers inherit it)."""
+    global _INSTALLED
+    if plan is not None:
+        plan.validate()
+    _INSTALLED = plan
+
+
+def clear() -> None:
+    install(None)
+
+
+def active_plan() -> "FaultPlan | None":
+    if _INSTALLED is not None:
+        return _INSTALLED
+    return FaultPlan.from_env()
+
+
+def in_worker() -> bool:
+    """True inside a multiprocessing child (where ``kill`` faults apply)."""
+    return multiprocessing.parent_process() is not None
+
+
+def _hang(seconds: float) -> None:
+    """Sleep through soft-deadline interrupts, like a blocked C call."""
+    deadline = time.monotonic() + seconds
+    while True:
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            return
+        try:
+            time.sleep(min(0.05, remaining))
+        except CellTimeoutError:
+            # A real wedged extension call never sees the signal at all;
+            # swallowing it reproduces that from pure Python.
+            continue
+
+
+def before_cell(cell: "tuple[str, int, int]", attempt: int) -> None:
+    """Apply the active plan to one ``(cell, attempt)``; usually a no-op.
+
+    Called at the top of every cell attempt, on the serial path and in
+    pool workers alike.  Ordering: delay/hang first (so deadline tests
+    see a *slow* cell, not an instantly-failing one), then kill, then
+    scripted errors, then probabilistic errors.
+    """
+    plan = active_plan()
+    if plan is None:
+        return
+    key = cell_key(cell)
+
+    delay = plan.delays.get(key)
+    if delay is not None and attempt < delay[1]:
+        time.sleep(delay[0])
+    hang = plan.hangs.get(key)
+    if hang is not None and attempt < hang[1]:
+        _hang(hang[0])
+    if attempt < plan.kill.get(key, 0) and in_worker():
+        os._exit(KILL_EXIT_CODE)
+    if attempt < plan.errors.get(key, 0):
+        raise InjectedFault(f"injected error on {key} attempt {attempt}")
+    if (
+        plan.error_probability > 0.0
+        and attempt == 0
+        and _unit_hash("fault", plan.seed, key) < plan.error_probability
+    ):
+        raise InjectedFault(f"injected probabilistic error on {key}")

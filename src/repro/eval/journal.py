@@ -1,0 +1,167 @@
+"""Append-only journal of completed work cells — crash-safe resume.
+
+A sweep of 18 metrics over many snapshots and seeds runs for hours; an
+OOM kill or a Ctrl-C at hour three should not cost the first three
+hours.  The journal records every completed
+:class:`~repro.eval.runner.CellResult` as one JSONL line the moment the
+driver receives it (write, flush, fsync), so
+``run_experiment(spec, journal=path)`` after a crash re-executes only
+the missing cells.
+
+Why this is *exact* rather than best-effort: cells are pure functions
+of the spec and ``reduce_cells`` is order-independent, so a result
+assembled from journal-restored cells plus freshly-executed ones is
+byte-identical to a clean run's canonical JSON — the resume-parity
+suite asserts equality, not approximation (Yang et al. show silently
+drifting evaluation protocols corrupt conclusions; a lossy resume would
+be exactly that).
+
+File format (one JSON object per line):
+
+- line 1: ``{"kind": "header", "version": 1, "fingerprint": ..., "name": ...}``
+- then:   ``{"kind": "cell", "metric": ..., "step": ..., "seed": ..., ...}``
+
+The fingerprint hashes the spec's *scientific* fields — ``n_jobs`` is
+excluded, so a journal written by an 8-worker run resumes under
+``--jobs 1`` and vice versa.  Loading tolerates exactly the damage a
+crash can cause (a truncated final line) and rejects everything else:
+corruption mid-file or a fingerprint from a different spec raises
+instead of quietly mixing experiments.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import asdict
+
+from repro.eval.runner import Cell, CellResult, ExperimentSpec
+
+JOURNAL_VERSION = 1
+
+#: spec fields that describe scheduling, not science; never fingerprinted.
+_EXECUTION_ONLY_FIELDS = ("n_jobs",)
+
+
+def spec_fingerprint(spec: ExperimentSpec) -> str:
+    """Hex digest identifying a spec's scientific content.
+
+    Two specs share a fingerprint exactly when they must produce the
+    same cells and the same canonical result JSON.
+    """
+    payload = json.loads(spec.to_json())
+    for field_name in _EXECUTION_ONLY_FIELDS:
+        payload.pop(field_name, None)
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class JournalMismatchError(ValueError):
+    """The journal on disk was written for a different spec."""
+
+
+class JournalCorruptError(ValueError):
+    """The journal is damaged beyond what a crash can explain."""
+
+
+def _cell_result_from_payload(payload: dict) -> CellResult:
+    known = {f for f in CellResult.__dataclass_fields__}
+    return CellResult(**{k: v for k, v in payload.items() if k in known})
+
+
+class CellJournal:
+    """Durable record of one experiment's completed cells.
+
+    Opening an existing file validates its header against the spec and
+    loads the completed cells; opening a fresh path writes the header.
+    :meth:`record` appends one line per cell and fsyncs — after a hard
+    kill the file is intact up to (at worst) one truncated trailing
+    line, which the loader discards.
+    """
+
+    def __init__(self, path: "str | os.PathLike[str]", spec: ExperimentSpec):
+        self.path = os.fspath(path)
+        self.fingerprint = spec_fingerprint(spec)
+        self.completed: "dict[Cell, CellResult]" = {}
+        existing = os.path.exists(self.path) and os.path.getsize(self.path) > 0
+        if existing:
+            self._load()
+        self._fh = open(self.path, "a", encoding="utf-8")
+        if not existing:
+            self._append(
+                {
+                    "kind": "header",
+                    "version": JOURNAL_VERSION,
+                    "fingerprint": self.fingerprint,
+                    "name": spec.name,
+                }
+            )
+
+    # -- loading --------------------------------------------------------
+    def _load(self) -> None:
+        with open(self.path, encoding="utf-8") as fh:
+            lines = fh.read().splitlines()
+        records = []
+        for index, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError:
+                if index == len(lines) - 1:
+                    break  # torn final write from a crash — discard it
+                raise JournalCorruptError(
+                    f"journal {self.path!r} line {index + 1} is not valid JSON "
+                    f"(mid-file corruption, not a crash artifact)"
+                ) from None
+        if not records:
+            raise JournalCorruptError(
+                f"journal {self.path!r} is non-empty but holds no records"
+            )
+        header = records[0]
+        if header.get("kind") != "header":
+            raise JournalCorruptError(
+                f"journal {self.path!r} does not start with a header record"
+            )
+        if header.get("fingerprint") != self.fingerprint:
+            raise JournalMismatchError(
+                f"journal {self.path!r} was written for a different spec "
+                f"(journal fingerprint {str(header.get('fingerprint'))[:12]}..., "
+                f"this spec {self.fingerprint[:12]}...); refusing to mix "
+                f"experiments — use a fresh --journal path"
+            )
+        for payload in records[1:]:
+            if payload.get("kind") != "cell":
+                continue  # forward compatibility: skip unknown record kinds
+            result = _cell_result_from_payload(payload)
+            # duplicates can only hold identical values (cells are pure);
+            # keep the first occurrence.
+            self.completed.setdefault((result.metric, result.step, result.seed), result)
+
+    # -- writing --------------------------------------------------------
+    def _append(self, payload: dict) -> None:
+        self._fh.write(json.dumps(payload, separators=(",", ":")) + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def record(self, result: CellResult) -> None:
+        """Durably append one completed cell (idempotent per cell)."""
+        key = (result.metric, result.step, result.seed)
+        if key in self.completed:
+            return
+        self._append({"kind": "cell", **asdict(result)})
+        self.completed[key] = result
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+    def __enter__(self) -> "CellJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __len__(self) -> int:
+        return len(self.completed)

@@ -24,12 +24,22 @@ from __future__ import annotations
 import json
 import os
 import time
+import warnings
 from collections.abc import Iterator, Sequence
 from dataclasses import asdict, dataclass, field
 
 import numpy as np
 
+from repro.eval import faults
 from repro.eval.experiment import PairFilter, evaluate_step, prediction_steps
+from repro.eval.retry import (
+    CellExecutionError,
+    CellFailure,
+    CellTimeoutError,
+    ExecutionReport,
+    RetryPolicy,
+    soft_deadline,
+)
 from repro.generators import presets
 from repro.graph.io import read_trace
 from repro.graph.snapshots import Snapshot, snapshot_sequence
@@ -74,6 +84,11 @@ class ExperimentSpec:
     n_jobs: int = 1
 
     def validate(self) -> None:
+        if not self.metrics:
+            raise ValueError(
+                "spec must name at least one metric (metrics=() describes "
+                "an experiment with no work cells)"
+            )
         unknown = [m for m in self.metrics if m not in all_metric_names()]
         if unknown:
             raise ValueError(f"unknown metrics in spec: {unknown}")
@@ -93,6 +108,16 @@ class ExperimentSpec:
     @classmethod
     def from_json(cls, text: str) -> "ExperimentSpec":
         payload = json.loads(text)
+        known = {f for f in cls.__dataclass_fields__}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            # Tolerate fields written by newer versions (mirroring
+            # RunTiming.from_payload) but say so: silent drops hide typos.
+            warnings.warn(
+                f"ExperimentSpec.from_json: ignoring unknown fields {unknown}",
+                stacklevel=2,
+            )
+            payload = {k: v for k, v in payload.items() if k in known}
         payload["metrics"] = tuple(payload.get("metrics", ()))
         spec = cls(**payload)
         spec.validate()
@@ -144,6 +169,16 @@ class RunTiming:
     #: snapshot-cache memoisation counters accumulated over the cells.
     cache_hits: int = 0
     cache_misses: int = 0
+    #: cells restored from a journal instead of executed.
+    journal_cells: int = 0
+    #: failed attempts that were retried (the run still completed).
+    retries: int = 0
+    #: times the worker pool was torn down and rebuilt mid-run.
+    pool_rebuilds: int = 0
+    #: True when repeated pool failures forced the serial fallback.
+    degraded_to_serial: bool = False
+    #: CellFailure payloads for every failed attempt (crash/timeout/exception).
+    failures: list = field(default_factory=list)
 
     def to_payload(self) -> dict:
         return asdict(self)
@@ -153,13 +188,34 @@ class RunTiming:
         known = {f for f in cls.__dataclass_fields__}
         return cls(**{k: v for k, v in payload.items() if k in known})
 
+    def failure_kinds(self) -> "dict[str, int]":
+        """Failed-attempt counts by kind (``crash``/``timeout``/``exception``)."""
+        counts: dict[str, int] = {}
+        for payload in self.failures:
+            kind = payload.get("kind", "unknown")
+            counts[kind] = counts.get(kind, 0) + 1
+        return counts
+
     def summary(self) -> str:
-        return (
+        lines = [
             f"[timing] {self.cells} cells in {self.wall_seconds:.2f}s wall "
             f"(n_jobs={self.n_jobs}, cell time {self.cell_seconds:.2f}s, "
             f"max cell {self.max_cell_seconds:.3f}s, "
             f"cache {self.cache_hits} hits / {self.cache_misses} misses)"
-        )
+        ]
+        if self.journal_cells or self.failures or self.pool_rebuilds:
+            kinds = self.failure_kinds()
+            breakdown = ", ".join(f"{kinds[k]} {k}" for k in sorted(kinds))
+            parts = [
+                f"{self.journal_cells} cells from journal",
+                f"{self.retries} retries"
+                + (f" ({breakdown})" if breakdown else ""),
+                f"{self.pool_rebuilds} pool rebuilds",
+            ]
+            if self.degraded_to_serial:
+                parts.append("degraded to serial")
+            lines.append(f"[faults] {', '.join(parts)}")
+        return "\n".join(lines)
 
 
 @dataclass(frozen=True)
@@ -387,7 +443,9 @@ def reduce_cells(
         if spec.with_filter:
             series.filtered_ratios = []
         for step in range(len(plan.steps)):
-            cells = sorted(by_key[(metric, step)], key=lambda c: c.seed)
+            # .get so a fully-absent (metric, step) group reports as the
+            # intended "incomplete" RuntimeError, not a bare KeyError.
+            cells = sorted(by_key.get((metric, step), ()), key=lambda c: c.seed)
             if len(cells) != spec.repeats:
                 raise RuntimeError(
                     f"cell results for ({metric!r}, step {step}) are incomplete: "
@@ -403,6 +461,74 @@ def reduce_cells(
     return result
 
 
+def execute_cell_attempt(
+    plan: ExperimentPlan, cell: Cell, attempt: int, policy: RetryPolicy
+) -> CellResult:
+    """One guarded attempt at one cell: faults, soft deadline, execute.
+
+    The single choke point both execution engines (serial loop, pool
+    worker) run a cell through, so fault injection and the soft timeout
+    behave identically on every path.
+    """
+    with soft_deadline(policy.timeout_seconds):
+        faults.before_cell(cell, attempt)
+        return execute_cell(plan, cell)
+
+
+def run_cells_serial(
+    plan: ExperimentPlan,
+    cells: Sequence[Cell],
+    policy: "RetryPolicy | None" = None,
+    on_result=None,
+    start_attempts: "dict[Cell, int] | None" = None,
+) -> ExecutionReport:
+    """Execute cells in order, in-process, with retry/timeout/backoff.
+
+    Also the fallback engine the parallel driver degrades to after
+    repeated pool failures — ``start_attempts`` carries the attempt
+    budget each cell already burned so the ``max_attempts`` bound holds
+    across the hand-off.
+    """
+    policy = policy or RetryPolicy()
+    policy.validate()
+    report = ExecutionReport()
+    for cell in cells:
+        attempt = (start_attempts or {}).get(cell, 0)
+        while True:
+            try:
+                result = execute_cell_attempt(plan, cell, attempt, policy)
+                break
+            except KeyboardInterrupt:
+                raise
+            except CellTimeoutError as exc:
+                kind, message = "timeout", str(exc)
+            except Exception as exc:
+                kind, message = "exception", f"{type(exc).__name__}: {exc}"
+            metric, step, seed = cell
+            report.failures.append(
+                CellFailure(
+                    metric=metric, step=step, seed=seed,
+                    kind=kind, attempt=attempt, message=message,
+                )
+            )
+            attempt += 1
+            if attempt >= policy.max_attempts:
+                raise CellExecutionError(
+                    cell,
+                    [
+                        f
+                        for f in report.failures
+                        if (f.metric, f.step, f.seed) == cell
+                    ],
+                )
+            report.retries += 1
+            time.sleep(policy.backoff_seconds(cell, attempt))
+        report.results.append(result)
+        if on_result is not None:
+            on_result(result)
+    return report
+
+
 def _resolve_jobs(spec: ExperimentSpec, n_jobs: "int | None") -> int:
     jobs = spec.n_jobs if n_jobs is None else n_jobs
     if jobs < 0:
@@ -412,34 +538,82 @@ def _resolve_jobs(spec: ExperimentSpec, n_jobs: "int | None") -> int:
     return max(1, jobs)
 
 
-def run_experiment(spec: ExperimentSpec, n_jobs: "int | None" = None) -> ExperimentResult:
+def run_experiment(
+    spec: ExperimentSpec,
+    n_jobs: "int | None" = None,
+    journal=None,
+    retry: "RetryPolicy | None" = None,
+) -> ExperimentResult:
     """Execute one spec end to end.
 
     ``n_jobs`` overrides ``spec.n_jobs`` without mutating the spec (so the
     stored spec — and therefore the canonical result JSON — is independent
     of how the run was scheduled).  Any value produces identical results;
     values above 1 dispatch work cells over a process pool.
+
+    ``journal`` (a path or an open
+    :class:`~repro.eval.journal.CellJournal`) makes the run resumable:
+    completed cells are appended durably as they finish, and a rerun
+    against the same journal executes only the missing ones — reducing,
+    by the order-independence of :func:`reduce_cells`, to canonical JSON
+    byte-identical to an uninterrupted run.
+
+    ``retry`` sets the per-cell timeout/retry/backoff policy
+    (:class:`~repro.eval.retry.RetryPolicy`); failed attempts are
+    recorded on ``result.timing.failures``.
     """
     spec.validate()
+    policy = retry or RetryPolicy()
+    policy.validate()
     jobs = _resolve_jobs(spec, n_jobs)
     started = time.perf_counter()
     plan = build_plan(spec)
     cells = list(iter_cells(spec, len(plan.steps)))
-    if jobs > 1 and len(cells) > 1:
-        from repro.eval.parallel import run_cells_parallel
 
-        cell_results = run_cells_parallel(spec, cells, jobs)
-    else:
-        jobs = 1
-        cell_results = [execute_cell(plan, cell) for cell in cells]
-    result = reduce_cells(plan, cell_results)
+    owns_journal = False
+    if journal is not None and not hasattr(journal, "record"):
+        from repro.eval.journal import CellJournal
+
+        journal = CellJournal(journal, spec)
+        owns_journal = True
+    try:
+        wanted = set(cells)
+        restored = (
+            {c: r for c, r in journal.completed.items() if c in wanted}
+            if journal is not None
+            else {}
+        )
+        missing = [c for c in cells if c not in restored]
+        on_result = journal.record if journal is not None else None
+        if jobs > 1 and len(missing) > 1:
+            from repro.eval.parallel import run_cells_parallel
+
+            report = run_cells_parallel(
+                spec, missing, jobs, policy=policy, on_result=on_result, plan=plan
+            )
+        else:
+            jobs = 1
+            report = run_cells_serial(plan, missing, policy, on_result=on_result)
+    finally:
+        if owns_journal:
+            journal.close()
+
+    executed = report.results
+    result = reduce_cells(plan, list(restored.values()) + list(executed))
     result.timing = RunTiming(
         n_jobs=jobs,
         wall_seconds=time.perf_counter() - started,
-        cells=len(cell_results),
-        cell_seconds=float(sum(c.wall_seconds for c in cell_results)),
-        max_cell_seconds=float(max(c.wall_seconds for c in cell_results)),
-        cache_hits=sum(c.cache_hits for c in cell_results),
-        cache_misses=sum(c.cache_misses for c in cell_results),
+        cells=len(executed),
+        cell_seconds=float(sum(c.wall_seconds for c in executed)),
+        max_cell_seconds=float(
+            max((c.wall_seconds for c in executed), default=0.0)
+        ),
+        cache_hits=sum(c.cache_hits for c in executed),
+        cache_misses=sum(c.cache_misses for c in executed),
+        journal_cells=len(restored),
+        retries=report.retries,
+        pool_rebuilds=report.pool_rebuilds,
+        degraded_to_serial=report.degraded_to_serial,
+        failures=[f.to_payload() for f in report.failures],
     )
     return result

@@ -48,11 +48,13 @@ class TestExperimentCommand:
         payload = json.loads(out_path.read_text())
         assert "CN" in payload["series"]
 
-    def test_bad_spec_fails_loudly(self, tmp_path):
+    def test_bad_spec_fails_loudly(self, tmp_path, capsys):
         spec_path = tmp_path / "bad.json"
         spec_path.write_text(json.dumps({"metrics": ["NOPE"]}))
-        with pytest.raises(ValueError):
-            main(["experiment", "--spec", str(spec_path)])
+        # spec errors map to exit 2 with a one-line message, not a traceback
+        assert main(["experiment", "--spec", str(spec_path)]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "NOPE" in err
 
 
 class TestMetricDeterminism:

@@ -1,0 +1,158 @@
+"""CLI hardening tests: exit codes, one-line errors, journal plumbing."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.__main__ import build_parser, main
+from repro.eval.runner import ExperimentSpec
+
+
+def write_spec(tmp_path, **overrides):
+    base = dict(
+        name="cli", dataset="facebook", scale=0.1, generation_seed=3,
+        metrics=("CN",), repeats=2, max_steps=2,
+    )
+    base.update(overrides)
+    path = tmp_path / "spec.json"
+    path.write_text(ExperimentSpec(**base).to_json())
+    return path
+
+
+class TestErrorMapping:
+    def test_missing_spec_file_exits_2(self, tmp_path, capsys):
+        assert main(["experiment", "--spec", str(tmp_path / "nope.json")]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err
+
+    def test_invalid_json_spec_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        assert main(["experiment", "--spec", str(path)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_empty_metrics_spec_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "empty.json"
+        path.write_text(json.dumps({"metrics": []}))
+        assert main(["experiment", "--spec", str(path)]) == 2
+        assert "at least one metric" in capsys.readouterr().err
+
+    def test_unreadable_trace_exits_2(self, tmp_path, capsys):
+        assert main(
+            ["evaluate", "--trace", str(tmp_path / "ghost.txt"), "--metric", "CN"]
+        ) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestKeyboardInterrupt:
+    def test_interrupt_with_journal_prints_resume_hint(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        spec_path = write_spec(tmp_path)
+
+        def boom(*args, **kwargs):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr("repro.eval.runner.run_experiment", boom)
+        code = main(
+            ["experiment", "--spec", str(spec_path),
+             "--journal", str(tmp_path / "j.jsonl")]
+        )
+        assert code == 130
+        err = capsys.readouterr().err
+        assert "resume with --journal" in err
+        assert str(tmp_path / "j.jsonl") in err
+
+    def test_interrupt_without_journal_suggests_one(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        spec_path = write_spec(tmp_path)
+        monkeypatch.setattr(
+            "repro.eval.runner.run_experiment",
+            lambda *a, **k: (_ for _ in ()).throw(KeyboardInterrupt()),
+        )
+        assert main(["experiment", "--spec", str(spec_path)]) == 130
+        assert "--journal" in capsys.readouterr().err
+
+    def test_interrupt_in_other_commands_exits_130(self, monkeypatch, capsys):
+        monkeypatch.setattr(
+            "repro.__main__.cmd_generate",
+            lambda args: (_ for _ in ()).throw(KeyboardInterrupt()),
+        )
+        args = ["generate", "--dataset", "facebook", "--out", "x.txt"]
+        assert main(args) == 130
+        assert "interrupted" in capsys.readouterr().err
+
+
+class TestJournalFlag:
+    def test_journaled_cli_run_resumes_to_identical_output(self, tmp_path, capsys):
+        spec_path = write_spec(tmp_path)
+        journal = tmp_path / "j.jsonl"
+        out1, out2 = tmp_path / "r1.json", tmp_path / "r2.json"
+        assert main(
+            ["experiment", "--spec", str(spec_path),
+             "--journal", str(journal), "--out", str(out1)]
+        ) == 0
+        assert journal.exists()
+        assert main(
+            ["experiment", "--spec", str(spec_path),
+             "--journal", str(journal), "--out", str(out2)]
+        ) == 0
+        assert out1.read_bytes() == out2.read_bytes()
+        # the resumed run surfaces the journal restore in the summary
+        assert "from journal" in capsys.readouterr().out
+
+    def test_journal_for_different_spec_exits_2(self, tmp_path, capsys):
+        journal = tmp_path / "j.jsonl"
+        spec_a = write_spec(tmp_path)
+        assert main(
+            ["experiment", "--spec", str(spec_a), "--journal", str(journal)]
+        ) == 0
+        (tmp_path / "spec.json").write_text(
+            ExperimentSpec(
+                name="cli", dataset="facebook", scale=0.1, generation_seed=4,
+                metrics=("CN",), repeats=2, max_steps=2,
+            ).to_json()
+        )
+        assert main(
+            ["experiment", "--spec", str(spec_a), "--journal", str(journal)]
+        ) == 2
+        assert "different spec" in capsys.readouterr().err
+
+
+class TestRetryFlags:
+    def test_flags_parse_with_defaults(self):
+        args = build_parser().parse_args(["experiment", "--spec", "s.json"])
+        assert args.journal is None
+        assert args.cell_timeout is None
+        assert args.max_attempts == 3
+
+    def test_flags_parse_explicit(self):
+        args = build_parser().parse_args(
+            ["experiment", "--spec", "s.json", "--journal", "j.jsonl",
+             "--cell-timeout", "2.5", "--max-attempts", "5"]
+        )
+        assert args.journal == "j.jsonl"
+        assert args.cell_timeout == 2.5
+        assert args.max_attempts == 5
+
+    def test_bad_max_attempts_exits_2(self, tmp_path, capsys):
+        spec_path = write_spec(tmp_path)
+        assert main(
+            ["experiment", "--spec", str(spec_path), "--max-attempts", "0"]
+        ) == 2
+        assert "max_attempts" in capsys.readouterr().err
+
+
+class TestUnknownSpecKeys:
+    def test_unknown_keys_warn_but_run(self, tmp_path, capsys):
+        payload = json.loads(write_spec(tmp_path).read_text())
+        payload["comment"] = "forward-compat field"
+        path = tmp_path / "annotated.json"
+        path.write_text(json.dumps(payload))
+        with pytest.warns(UserWarning, match="comment"):
+            assert main(["experiment", "--spec", str(path)]) == 0
+        assert "experiment: cli" in capsys.readouterr().out

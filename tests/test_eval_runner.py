@@ -46,10 +46,25 @@ class TestSpec:
         with pytest.raises(ValueError, match="repeats"):
             small_spec(repeats=0).validate()
 
+    def test_validation_rejects_empty_metrics(self):
+        """metrics=() used to pass validate() and crash later in max()."""
+        with pytest.raises(ValueError, match="at least one metric"):
+            small_spec(metrics=()).validate()
+        with pytest.raises(ValueError, match="at least one metric"):
+            ExperimentSpec.from_json(json.dumps({"metrics": []}))
+
     def test_from_json_validates(self):
         bad = json.dumps({"metrics": ["NOPE"]})
         with pytest.raises(ValueError):
             ExperimentSpec.from_json(bad)
+
+    def test_from_json_warns_and_ignores_unknown_keys(self):
+        payload = json.loads(small_spec().to_json())
+        payload["comment"] = "written by a future version"
+        payload["priority"] = 9
+        with pytest.warns(UserWarning, match=r"\['comment', 'priority'\]"):
+            spec = ExperimentSpec.from_json(json.dumps(payload))
+        assert spec == small_spec()
 
 
 class TestRunExperiment:

@@ -1,0 +1,175 @@
+"""Tests for the cell journal: durable resume that is provably exact."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.eval.journal import (
+    CellJournal,
+    JournalCorruptError,
+    JournalMismatchError,
+    spec_fingerprint,
+)
+from repro.eval.runner import CellResult, ExperimentSpec, run_experiment
+
+
+def small_spec(**overrides) -> ExperimentSpec:
+    base = dict(
+        name="journal", dataset="facebook", scale=0.1, generation_seed=3,
+        metrics=("CN", "PA"), repeats=2, max_steps=2,
+    )
+    base.update(overrides)
+    return ExperimentSpec(**base)
+
+
+def journal_lines(path) -> list[dict]:
+    return [json.loads(line) for line in path.read_text().splitlines() if line]
+
+
+class TestFingerprint:
+    def test_stable_for_identical_specs(self):
+        assert spec_fingerprint(small_spec()) == spec_fingerprint(small_spec())
+
+    def test_ignores_n_jobs(self):
+        """Scheduling is not science: an 8-worker journal resumes serially."""
+        assert spec_fingerprint(small_spec(n_jobs=1)) == spec_fingerprint(
+            small_spec(n_jobs=8)
+        )
+
+    @pytest.mark.parametrize(
+        "change",
+        [dict(metrics=("CN",)), dict(dataset="youtube"), dict(generation_seed=4),
+         dict(repeats=1), dict(scale=0.15), dict(with_filter=True)],
+    )
+    def test_sensitive_to_scientific_fields(self, change):
+        assert spec_fingerprint(small_spec(**change)) != spec_fingerprint(small_spec())
+
+
+class TestCellJournalFile:
+    def make_result(self, metric="CN", step=0, seed=0) -> CellResult:
+        return CellResult(
+            metric=metric, step=step, seed=seed, ratio=1.5, absolute=0.1,
+            filtered_ratio=None, wall_seconds=0.01, cache_hits=2, cache_misses=1,
+        )
+
+    def test_fresh_journal_writes_header(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with CellJournal(path, small_spec()) as journal:
+            assert len(journal) == 0
+        records = journal_lines(path)
+        assert records[0]["kind"] == "header"
+        assert records[0]["fingerprint"] == spec_fingerprint(small_spec())
+
+    def test_record_and_reload(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with CellJournal(path, small_spec()) as journal:
+            journal.record(self.make_result("CN", 0, 0))
+            journal.record(self.make_result("PA", 1, 1))
+        reloaded = CellJournal(path, small_spec())
+        assert set(reloaded.completed) == {("CN", 0, 0), ("PA", 1, 1)}
+        assert reloaded.completed[("CN", 0, 0)] == self.make_result("CN", 0, 0)
+        reloaded.close()
+
+    def test_record_is_idempotent(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with CellJournal(path, small_spec()) as journal:
+            journal.record(self.make_result())
+            journal.record(self.make_result())
+        assert len(journal_lines(path)) == 2  # header + one cell
+
+    def test_mismatched_spec_rejected(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        CellJournal(path, small_spec()).close()
+        with pytest.raises(JournalMismatchError, match="different spec"):
+            CellJournal(path, small_spec(metrics=("RA",)))
+
+    def test_truncated_final_line_tolerated(self, tmp_path):
+        """A torn trailing write is exactly what a crash leaves behind."""
+        path = tmp_path / "j.jsonl"
+        with CellJournal(path, small_spec()) as journal:
+            journal.record(self.make_result())
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"kind": "cell", "metric": "PA", "st')  # torn write
+        reloaded = CellJournal(path, small_spec())
+        assert set(reloaded.completed) == {("CN", 0, 0)}
+        reloaded.close()
+
+    def test_midfile_corruption_rejected(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with CellJournal(path, small_spec()) as journal:
+            journal.record(self.make_result())
+        text = path.read_text().splitlines()
+        text.insert(1, "NOT JSON")
+        path.write_text("\n".join(text) + "\n")
+        with pytest.raises(JournalCorruptError, match="not valid JSON"):
+            CellJournal(path, small_spec())
+
+    def test_missing_header_rejected(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text('{"kind": "cell", "metric": "CN", "step": 0, "seed": 0}\n')
+        with pytest.raises(JournalCorruptError, match="header"):
+            CellJournal(path, small_spec())
+
+    def test_unknown_record_kinds_skipped(self, tmp_path):
+        """Forward compatibility: newer writers may add record kinds."""
+        path = tmp_path / "j.jsonl"
+        with CellJournal(path, small_spec()) as journal:
+            journal.record(self.make_result())
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"kind": "checkpoint", "note": "from the future"}\n')
+        reloaded = CellJournal(path, small_spec())
+        assert len(reloaded) == 1
+        reloaded.close()
+
+    def test_duplicate_lines_first_wins(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with CellJournal(path, small_spec()) as journal:
+            journal.record(self.make_result())
+        lines = path.read_text()
+        path.write_text(lines + lines.splitlines()[1] + "\n")
+        reloaded = CellJournal(path, small_spec())
+        assert len(reloaded) == 1
+        reloaded.close()
+
+
+class TestRunExperimentJournal:
+    def test_journaled_run_matches_clean_run(self, tmp_path):
+        spec = small_spec()
+        clean = run_experiment(spec)
+        journaled = run_experiment(spec, journal=tmp_path / "j.jsonl")
+        assert journaled.to_json() == clean.to_json()
+        assert journaled.timing.journal_cells == 0
+        assert journaled.timing.cells == 8
+
+    def test_complete_journal_resumes_without_executing(self, tmp_path):
+        """All cells journaled -> zero executed; the empty-max() guard."""
+        spec = small_spec()
+        path = tmp_path / "j.jsonl"
+        first = run_experiment(spec, journal=path)
+        second = run_experiment(spec, journal=path)
+        assert second.to_json() == first.to_json()
+        assert second.timing.cells == 0
+        assert second.timing.journal_cells == 8
+        assert second.timing.max_cell_seconds == 0.0
+
+    def test_partial_journal_executes_only_missing(self, tmp_path):
+        spec = small_spec()
+        path = tmp_path / "j.jsonl"
+        clean = run_experiment(spec, journal=path)
+        kept = 3
+        lines = path.read_text().splitlines()
+        (tmp_path / "partial.jsonl").write_text(
+            "\n".join(lines[: 1 + kept]) + "\n"
+        )
+        resumed = run_experiment(spec, journal=tmp_path / "partial.jsonl")
+        assert resumed.to_json() == clean.to_json()
+        assert resumed.timing.journal_cells == kept
+        assert resumed.timing.cells == 8 - kept
+
+    def test_open_journal_instance_accepted(self, tmp_path):
+        spec = small_spec(metrics=("CN",), max_steps=1)
+        with CellJournal(tmp_path / "j.jsonl", spec) as journal:
+            result = run_experiment(spec, journal=journal)
+            assert len(journal) == result.timing.cells == 2

@@ -171,6 +171,19 @@ class TestCellPlumbing:
         with pytest.raises(RuntimeError, match="incomplete"):
             reduce_cells(plan, cells[:-1])
 
+    def test_reduce_rejects_fully_absent_group(self):
+        """0-of-N for a (metric, step) must raise the intended
+        'incomplete' RuntimeError, not a bare KeyError."""
+        spec = ExperimentSpec(scale=0.1, metrics=("CN", "PA"), repeats=2, max_steps=1)
+        plan = build_plan(spec)
+        cells = [
+            execute_cell(plan, c)
+            for c in iter_cells(spec, len(plan.steps))
+            if c[0] == "CN"  # every PA cell missing entirely
+        ]
+        with pytest.raises(RuntimeError, match="incomplete.*got 0 of 2"):
+            reduce_cells(plan, cells)
+
     def test_cell_results_are_picklable(self):
         import pickle
 

@@ -1,0 +1,207 @@
+"""Kill-resume parity: an interrupted, journaled run resumes to the
+byte-identical canonical JSON of an uninterrupted serial run.
+
+This is the acceptance bar for the fault-tolerance layer (and the
+reason it can exist at all): cells are pure functions of the spec and
+``reduce_cells`` is order-independent, so "run some cells, die, run the
+rest later" is *exactly* equal to a clean run — not approximately.
+Interruption is produced three ways: a fault-injected fatal exception
+(serial and parallel), a fault-injected worker kill that exhausts the
+retry budget, and a real driver SIGINT against the CLI in a subprocess.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval import faults
+from repro.eval.faults import FaultPlan
+from repro.eval.journal import CellJournal
+from repro.eval.retry import CellExecutionError, RetryPolicy, cell_key
+from repro.eval.runner import ExperimentSpec, iter_cells, run_experiment
+
+FAST = dict(backoff_base=0.01, backoff_max=0.05)
+
+
+def small_spec(**overrides) -> ExperimentSpec:
+    base = dict(
+        name="resume", dataset="facebook", scale=0.1, generation_seed=3,
+        metrics=("CN", "PA"), repeats=2, max_steps=2,
+    )
+    base.update(overrides)
+    return ExperimentSpec(**base)
+
+
+@pytest.fixture(autouse=True)
+def clean_faults(monkeypatch):
+    monkeypatch.delenv(faults.ENV_VAR, raising=False)
+    faults.clear()
+    yield
+    faults.clear()
+
+
+def interrupt_then_resume(spec, journal_path, fatal_plan, n_jobs, monkeypatch):
+    """Run with a fatal fault plan until the run dies, then resume clean."""
+    monkeypatch.setenv(faults.ENV_VAR, fatal_plan.to_json())
+    with pytest.raises(CellExecutionError):
+        run_experiment(
+            spec, n_jobs=n_jobs, journal=journal_path,
+            retry=RetryPolicy(max_attempts=1, max_pool_rebuilds=0, **FAST),
+        )
+    monkeypatch.delenv(faults.ENV_VAR)
+    faults.clear()
+    return run_experiment(spec, n_jobs=n_jobs, journal=journal_path)
+
+
+class TestKillResumeParity:
+    """The acceptance criterion, for n_jobs=1 and n_jobs>1."""
+
+    @pytest.mark.parametrize("n_jobs", [1, 2])
+    def test_fatal_exception_mid_sweep_then_resume(
+        self, n_jobs, tmp_path, monkeypatch
+    ):
+        spec = small_spec()
+        clean = run_experiment(spec, n_jobs=1)  # uninterrupted serial run
+        cells = list(iter_cells(spec, 2))
+        fatal = FaultPlan(errors={cell_key(cells[len(cells) // 2]): 99})
+        resumed = interrupt_then_resume(
+            spec, tmp_path / "j.jsonl", fatal, n_jobs, monkeypatch
+        )
+        assert resumed.to_json() == clean.to_json()
+        assert resumed.timing.journal_cells > 0  # something survived the crash
+        assert resumed.timing.cells > 0  # something was genuinely resumed
+
+    def test_worker_kill_mid_sweep_then_resume(self, tmp_path, monkeypatch):
+        """Interruption by actual worker death (BrokenProcessPool path)."""
+        spec = small_spec()
+        clean = run_experiment(spec, n_jobs=1)
+        fatal = FaultPlan(kill={"PA:0:0": 99})
+        resumed = interrupt_then_resume(
+            spec, tmp_path / "j.jsonl", fatal, 2, monkeypatch
+        )
+        assert resumed.to_json() == clean.to_json()
+
+    def test_resume_with_different_job_count(self, tmp_path, monkeypatch):
+        """A journal written under n_jobs=2 resumes under n_jobs=1."""
+        spec = small_spec()
+        clean = run_experiment(spec, n_jobs=1)
+        fatal = FaultPlan(errors={"PA:1:0": 99})
+        monkeypatch.setenv(faults.ENV_VAR, fatal.to_json())
+        with pytest.raises(CellExecutionError):
+            run_experiment(
+                spec, n_jobs=2, journal=tmp_path / "j.jsonl",
+                retry=RetryPolicy(max_attempts=1, max_pool_rebuilds=0, **FAST),
+            )
+        monkeypatch.delenv(faults.ENV_VAR)
+        resumed = run_experiment(spec, n_jobs=1, journal=tmp_path / "j.jsonl")
+        assert resumed.to_json() == clean.to_json()
+
+    @given(
+        seed=st.integers(min_value=0, max_value=3),
+        metrics=st.lists(
+            st.sampled_from(["CN", "PA", "RA"]), min_size=1, max_size=2, unique=True
+        ),
+        repeats=st.integers(min_value=1, max_value=2),
+        kill_fraction=st.floats(min_value=0.0, max_value=0.99),
+    )
+    @settings(max_examples=5, deadline=None)
+    def test_property_interrupt_anywhere_resumes_exactly(
+        self, seed, metrics, repeats, kill_fraction, tmp_path_factory
+    ):
+        """For random small specs and a random interruption point, resume
+        parity holds (serial engine; the parametrized tests cover pools)."""
+        spec = small_spec(
+            generation_seed=seed, metrics=tuple(metrics), repeats=repeats
+        )
+        clean = run_experiment(spec, n_jobs=1)
+        cells = list(iter_cells(spec, 2))
+        fatal_cell = cells[int(kill_fraction * len(cells))]
+        journal_path = tmp_path_factory.mktemp("resume") / "j.jsonl"
+        faults.install(FaultPlan(errors={cell_key(fatal_cell): 99}))
+        with pytest.raises(CellExecutionError):
+            run_experiment(
+                spec, n_jobs=1, journal=journal_path,
+                retry=RetryPolicy(max_attempts=1, **FAST),
+            )
+        faults.clear()
+        resumed = run_experiment(spec, n_jobs=1, journal=journal_path)
+        assert resumed.to_json() == clean.to_json()
+        # exactly the pre-interruption cells were restored
+        assert resumed.timing.journal_cells == cells.index(fatal_cell)
+
+
+class TestDriverSigintResume:
+    """A real Ctrl-C against the CLI, then a real CLI resume."""
+
+    def test_sigint_flushes_journal_and_resume_is_identical(self, tmp_path):
+        spec = small_spec()
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(spec.to_json())
+        journal_path = tmp_path / "journal.jsonl"
+        out_path = tmp_path / "result.json"
+
+        env = dict(os.environ)
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = "src" + (os.pathsep + existing if existing else "")
+        # slow the third cell down so SIGINT reliably lands mid-sweep
+        env[faults.ENV_VAR] = FaultPlan(delays={"CN:1:0": (30.0, 99)}).to_json()
+
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "experiment",
+             "--spec", str(spec_path), "--journal", str(journal_path)],
+            cwd="/root/repo", env=env,
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+        )
+        try:
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline:
+                if journal_path.exists() and len(
+                    journal_path.read_text().splitlines()
+                ) >= 3:  # header + two completed cells
+                    break
+                time.sleep(0.1)
+            else:
+                pytest.fail("journal never accumulated cells")
+            time.sleep(0.3)  # ensure the driver is inside the slow cell
+            proc.send_signal(signal.SIGINT)
+            _stdout, stderr = proc.communicate(timeout=60)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+        assert proc.returncode == 130
+        assert "resume with --journal" in stderr
+
+        env.pop(faults.ENV_VAR)
+        resume = subprocess.run(
+            [sys.executable, "-m", "repro", "experiment",
+             "--spec", str(spec_path), "--journal", str(journal_path),
+             "--out", str(out_path)],
+            cwd="/root/repo", env=env, capture_output=True, text=True, timeout=120,
+        )
+        assert resume.returncode == 0, resume.stderr
+        clean = run_experiment(spec, n_jobs=1)
+        assert out_path.read_text() == clean.to_json() + "\n"
+
+    def test_interrupted_journal_loads_cleanly(self, tmp_path, monkeypatch):
+        """Even a journal from a hard-failed run is a valid resume point."""
+        spec = small_spec(metrics=("CN",))
+        faults.install(FaultPlan(errors={"CN:1:0": 99}))
+        with pytest.raises(CellExecutionError):
+            run_experiment(
+                spec, journal=tmp_path / "j.jsonl",
+                retry=RetryPolicy(max_attempts=1, **FAST),
+            )
+        faults.clear()
+        journal = CellJournal(tmp_path / "j.jsonl", spec)
+        assert len(journal) == 2  # the two seeds of step 0
+        journal.close()
