@@ -1,0 +1,346 @@
+"""Columnar-core scaling benchmark: old representation vs new, three sizes.
+
+Times the three paths the columnar refactor changed, at three trace sizes,
+against an inline reimplementation of the previous representation
+(dict-of-sets snapshot rebuilds, per-pair Python dict indexing, dense n^2
+candidate masks):
+
+- **snapshot-sequence construction** — legacy replays the event stream from
+  event 0 for every cutoff (O(T*E) Python dict work); the columnar core
+  builds one trace-level stream index and derives each snapshot's node set,
+  edge columns, and CSR structure with vectorised kernels;
+- **candidate enumeration** — legacy materialises dense ``A``/``A^2``
+  boolean masks (O(n^2) float64/bool temporaries); the new path stays on
+  sparse ``A^2`` structure and triangular-index arithmetic.  Peak heap for
+  both is recorded with ``tracemalloc`` — this is the "dense O(n^2) buffers
+  eliminated" number;
+- **end-to-end metric sweep** — fit + score of a neighbourhood metric (CN,
+  2-hop candidates) and a global metric (PA, all non-edge candidates) on
+  every prediction step, where the legacy side pays the legacy snapshot
+  build, dense enumeration, and per-pair dict-lookup scoring, and the new
+  side runs the actual library code.
+
+Both sides are checked pair-for-pair and score-for-score identical before
+any timing is trusted.  Results go to ``BENCH_core.json`` at the repo root
+(the perf trajectory file) and ``benchmarks/results/core_scaling.txt``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_core_scaling.py          # full, writes BENCH_core.json
+    PYTHONPATH=src python benchmarks/bench_core_scaling.py --smoke  # smallest size only, no JSON (CI)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+import tracemalloc
+from pathlib import Path
+
+import numpy as np
+import scipy.sparse as sp
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.generators import presets
+from repro.graph.dyngraph import TemporalGraph
+from repro.graph.snapshots import Snapshot, snapshot_sequence
+from repro.metrics.base import get_metric
+from repro.metrics.candidates import candidate_pairs
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: (label, preset, scale) — three sizes of the dense friendship trace, plus
+#: the sparse subscription trace where the dense n^2 candidate buffers used
+#: to dominate (n = 2600 -> two dense float64 matrices = ~108 MB per
+#: enumeration in the old representation).
+SIZES = (
+    ("small", "facebook", 0.25),
+    ("medium", "facebook", 0.5),
+    ("large", "facebook", 1.0),
+    ("large-sparse", "youtube", 1.0),
+)
+
+
+# ---------------------------------------------------------------------------
+# Legacy representation (inline reimplementation of the pre-columnar core)
+# ---------------------------------------------------------------------------
+class LegacySnapshot:
+    """Dict-of-sets snapshot rebuilt from event 0, as the old core did."""
+
+    def __init__(self, events, cutoff):
+        adj: dict[int, set[int]] = {}
+        for u, v, _t in events[:cutoff]:
+            adj.setdefault(u, set()).add(v)
+            adj.setdefault(v, set()).add(u)
+        self.adj = adj
+        self.node_list = sorted(adj)
+        self.node_pos = {u: i for i, u in enumerate(self.node_list)}
+        self.time = events[cutoff - 1][2]
+
+    def adjacency_matrix(self) -> sp.csr_matrix:
+        # Old path: CSR assembled from Python lists, edge by edge.
+        rows, cols = [], []
+        for u, neigh in self.adj.items():
+            i = self.node_pos[u]
+            for v in neigh:
+                rows.append(i)
+                cols.append(self.node_pos[v])
+        n = len(self.node_list)
+        data = np.ones(len(rows), dtype=np.float64)
+        return sp.csr_matrix((data, (rows, cols)), shape=(n, n))
+
+    def degree_array(self) -> np.ndarray:
+        return np.asarray(
+            [len(self.adj[u]) for u in self.node_list], dtype=np.float64
+        )
+
+
+def legacy_two_hop_pairs(snapshot: LegacySnapshot, dense: np.ndarray) -> np.ndarray:
+    """Dense-mask enumeration: the old O(n^2)-memory candidate path."""
+    a2 = dense @ dense
+    mask = np.triu((a2 > 0) & (dense == 0), k=1)
+    rows, cols = np.nonzero(mask)
+    ids = np.asarray(snapshot.node_list, dtype=np.int64)
+    return np.column_stack((ids[rows], ids[cols]))
+
+
+def legacy_all_nonedge_pairs(snapshot: LegacySnapshot, dense: np.ndarray) -> np.ndarray:
+    mask = np.triu(dense == 0, k=1)
+    rows, cols = np.nonzero(mask)
+    ids = np.asarray(snapshot.node_list, dtype=np.int64)
+    return np.column_stack((ids[rows], ids[cols]))
+
+
+def legacy_pairs_to_indices(snapshot: LegacySnapshot, pairs: np.ndarray):
+    """Per-pair Python dict lookups — the old ``pairs_to_indices``."""
+    pos = snapshot.node_pos
+    rows = np.fromiter(
+        (pos[int(u)] for u in pairs[:, 0]), dtype=np.int64, count=len(pairs)
+    )
+    cols = np.fromiter(
+        (pos[int(v)] for v in pairs[:, 1]), dtype=np.int64, count=len(pairs)
+    )
+    return rows, cols
+
+
+# ---------------------------------------------------------------------------
+# Benchmark sections
+# ---------------------------------------------------------------------------
+def bench_snapshot_sequence(trace: TemporalGraph, delta: int) -> dict:
+    """Both worlds start from an existing trace; what is timed is the
+    per-snapshot structure build (node set, adjacency, degrees)."""
+    events = list(trace.edges())
+    cutoffs = [s.cutoff for s in snapshot_sequence(trace, delta)]
+
+    started = time.perf_counter()
+    legacy = [LegacySnapshot(events, c) for c in cutoffs]
+    for snap in legacy:
+        snap.adjacency_matrix()
+        snap.degree_array()
+    legacy_s = time.perf_counter() - started
+
+    # Fresh trace built *outside* the timed region (the legacy side gets its
+    # prebuilt event list for free too); cold column/stream-index caches.
+    fresh = TemporalGraph.from_stream(events)
+    started = time.perf_counter()
+    columnar = snapshot_sequence(fresh, delta)
+    for snap in columnar:
+        snap.adjacency_matrix()
+        snap.degree_array()
+    columnar_s = time.perf_counter() - started
+
+    for old, new in zip(legacy, columnar):
+        assert old.node_list == new.node_list, "sequence parity broke"
+    return {
+        "snapshots": len(cutoffs),
+        "legacy_s": round(legacy_s, 4),
+        "columnar_s": round(columnar_s, 4),
+        "speedup": round(legacy_s / columnar_s, 2),
+    }
+
+
+def _peak_bytes(fn) -> tuple[object, int]:
+    tracemalloc.start()
+    result = fn()
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return result, peak
+
+
+def bench_candidates(trace: TemporalGraph) -> dict:
+    """Enumeration cost alone: both worlds get a prepared snapshot with its
+    sparse CSR adjacency already built (both representations needed that for
+    the metrics anyway); measured from CSR onward."""
+    events = list(trace.edges())
+    cutoff = trace.num_edges
+    legacy_snap = LegacySnapshot(events, cutoff)
+    legacy_csr = legacy_snap.adjacency_matrix()
+    snap = Snapshot(trace, cutoff)
+    snap.adjacency_matrix()
+
+    def legacy_two_hop():
+        # The old path's dense A and dense A @ A are the O(n^2) buffers the
+        # refactor eliminates; they are charged to this run.
+        return legacy_two_hop_pairs(legacy_snap, legacy_csr.toarray())
+
+    def legacy_all():
+        return legacy_all_nonedge_pairs(legacy_snap, legacy_csr.toarray())
+
+    def columnar_two_hop():
+        snap.cache.clear()  # cold A2 / candidate caches each run
+        return candidate_pairs(snap, "two_hop")
+
+    def columnar_all():
+        snap.cache.clear()
+        return candidate_pairs(snap, "all")
+
+    sections = {}
+    for key, legacy_fn, new_fn in (
+        ("two_hop", legacy_two_hop, columnar_two_hop),
+        ("all", legacy_all, columnar_all),
+    ):
+        legacy_pairs, legacy_peak = _peak_bytes(legacy_fn)
+        started = time.perf_counter()
+        legacy_fn()
+        legacy_s = time.perf_counter() - started
+
+        new_pairs, columnar_peak = _peak_bytes(new_fn)
+        started = time.perf_counter()
+        new_fn()
+        columnar_s = time.perf_counter() - started
+
+        assert np.array_equal(legacy_pairs, new_pairs), f"{key} parity broke"
+        sections[key] = {
+            "pairs": int(len(new_pairs)),
+            "legacy_s": round(legacy_s, 4),
+            "columnar_s": round(columnar_s, 4),
+            "speedup": round(legacy_s / columnar_s, 2),
+            "legacy_peak_bytes": int(legacy_peak),
+            "columnar_peak_bytes": int(columnar_peak),
+            "peak_reduction": round(legacy_peak / max(1, columnar_peak), 2),
+        }
+    return sections
+
+
+def bench_metric_sweep(trace: TemporalGraph, delta: int) -> dict:
+    """Fit + score CN (2-hop) and PA (all pairs) on every prediction step."""
+    events = list(trace.edges())
+    cutoffs = [s.cutoff for s in snapshot_sequence(trace, delta)][:-1]
+
+    def run_legacy():
+        out = []
+        for cutoff in cutoffs:
+            snap = LegacySnapshot(events, cutoff)
+            a = snap.adjacency_matrix()
+            dense = a.toarray()
+            # CN on 2-hop candidates: score = A^2[u, v].
+            a2 = (a @ a).tocsr()
+            pairs = legacy_two_hop_pairs(snap, dense)
+            if len(pairs):
+                rows, cols = legacy_pairs_to_indices(snap, pairs)
+                out.append(np.asarray(a2[rows, cols]).ravel().astype(np.float64))
+            # PA on all non-edges: score = deg(u) * deg(v).
+            deg = snap.degree_array()
+            pairs = legacy_all_nonedge_pairs(snap, dense)
+            if len(pairs):
+                rows, cols = legacy_pairs_to_indices(snap, pairs)
+                out.append(deg[rows] * deg[cols])
+        return out
+
+    fresh = TemporalGraph.from_stream(events)
+
+    def run_columnar():
+        out = []
+        for cutoff in cutoffs:
+            snap = Snapshot(fresh, cutoff)
+            for name in ("CN", "PA"):
+                metric = get_metric(name).fit(snap)
+                pairs = candidate_pairs(snap, metric.candidate_strategy)
+                if len(pairs):
+                    out.append(metric.score(pairs))
+        return out
+
+    started = time.perf_counter()
+    legacy_scores = run_legacy()
+    legacy_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    columnar_scores = run_columnar()
+    columnar_s = time.perf_counter() - started
+
+    assert len(legacy_scores) == len(columnar_scores)
+    for old, new in zip(legacy_scores, columnar_scores):
+        np.testing.assert_allclose(old, new, err_msg="sweep scores drifted")
+    return {
+        "steps": len(cutoffs),
+        "metrics": ["CN", "PA"],
+        "legacy_s": round(legacy_s, 4),
+        "columnar_s": round(columnar_s, 4),
+        "speedup": round(legacy_s / columnar_s, 2),
+    }
+
+
+def run(scales, write_json: bool) -> dict:
+    report = {
+        "bench": "core_scaling",
+        "cpus": os.cpu_count(),
+        "sizes": [],
+    }
+    for label, dataset, scale in scales:
+        trace = presets.load(dataset, scale=scale, seed=3)
+        delta = presets.snapshot_delta(dataset, scale)
+        entry = {
+            "label": label,
+            "dataset": dataset,
+            "scale": scale,
+            "nodes": trace.num_nodes,
+            "edges": trace.num_edges,
+            "snapshot_sequence": bench_snapshot_sequence(trace, delta),
+            "candidate_enumeration": bench_candidates(trace),
+            "metric_sweep": bench_metric_sweep(trace, delta),
+        }
+        report["sizes"].append(entry)
+        print(f"[{label}] nodes={entry['nodes']} edges={entry['edges']}")
+        for section in ("snapshot_sequence", "candidate_enumeration", "metric_sweep"):
+            print(f"  {section}: {entry[section]}")
+
+    if write_json:
+        path = REPO_ROOT / "BENCH_core.json"
+        path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+        results_dir = Path(__file__).parent / "results"
+        results_dir.mkdir(exist_ok=True)
+        lines = [
+            f"{e['label']:>6} (n={e['nodes']}, E={e['edges']}): "
+            f"seq {e['snapshot_sequence']['speedup']}x, "
+            f"two-hop peak mem "
+            f"{e['candidate_enumeration']['two_hop']['peak_reduction']}x smaller, "
+            f"all-pairs peak mem "
+            f"{e['candidate_enumeration']['all']['peak_reduction']}x smaller, "
+            f"sweep {e['metric_sweep']['speedup']}x"
+            for e in report["sizes"]
+        ]
+        (results_dir / "core_scaling.txt").write_text(
+            "\n".join(lines) + "\n", encoding="utf-8"
+        )
+        print(f"wrote {path}")
+    return report
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="smallest size only, parity-checked, no BENCH_core.json rewrite",
+    )
+    args = parser.parse_args()
+    scales = SIZES[:1] if args.smoke else SIZES
+    run(scales, write_json=not args.smoke)
+
+
+if __name__ == "__main__":
+    main()

@@ -52,18 +52,21 @@ def synthesize_weights(
     two regularities the weak-ties literature builds on.  Weights are
     strictly positive.
     """
+    from repro.metrics.base import matrix_values
+
     rng = ensure_rng(seed)
     a2 = two_hop_matrix(snapshot)
-    pos = snapshot.node_pos
-    weights: dict[Pair, float] = {}
     now = snapshot.time
     span = max(1e-9, now - snapshot.trace.start_time)
-    for u, v in snapshot.edges():
-        embeddedness = float(a2[pos[u], pos[v]])
-        age = (now - snapshot.trace.edge_time(u, v)) / span  # 0 = fresh
-        base = 1.0 + embeddedness_gain * embeddedness + (1.0 - age)
-        weights[(u, v)] = float(base * rng.lognormal(0.0, noise))
-    return weights
+    iu, iv = snapshot.edge_indices()
+    embeddedness = matrix_values(a2, iu, iv)
+    times = snapshot.edge_times()
+    age = (now - times) / span  # 0 = fresh
+    base = 1.0 + embeddedness_gain * embeddedness + (1.0 - age)
+    values = base * rng.lognormal(0.0, noise, size=len(base))
+    return {
+        pair: float(w) for pair, w in zip(snapshot.edges(), values.tolist())
+    }
 
 
 def weight_matrix(snapshot: Snapshot, weights: "dict[Pair, float]", alpha: float):

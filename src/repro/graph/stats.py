@@ -144,15 +144,12 @@ def degree_assortativity(snapshot: Snapshot) -> float:
     """
     if snapshot.num_edges == 0:
         return 0.0
-    x, y = [], []
-    for u, v in snapshot.edges():
-        du, dv = snapshot.degree(u), snapshot.degree(v)
-        # Count each undirected edge in both orientations so the measure is
-        # symmetric (Newman's definition).
-        x.extend((du, dv))
-        y.extend((dv, du))
-    x_arr = np.asarray(x, dtype=np.float64)
-    y_arr = np.asarray(y, dtype=np.float64)
+    degrees = snapshot.degree_array()
+    iu, iv = snapshot.edge_indices()
+    # Count each undirected edge in both orientations so the measure is
+    # symmetric (Newman's definition).
+    x_arr = np.concatenate((degrees[iu], degrees[iv]))
+    y_arr = np.concatenate((degrees[iv], degrees[iu]))
     sx, sy = x_arr.std(), y_arr.std()
     if sx == 0 or sy == 0:
         return 0.0
@@ -166,14 +163,13 @@ def degree_ccdf(snapshot: Snapshot) -> tuple[np.ndarray, np.ndarray]:
     log-log view in which the subscription network's supernode tail is a
     straight line and the friendship networks bend.
     """
-    degrees = np.sort(snapshot.degree_array())
+    degrees = snapshot.degree_array()
     if degrees.size == 0:
         return np.zeros(0), np.zeros(0)
-    unique = np.unique(degrees)
-    ccdf = np.asarray(
-        [np.mean(degrees >= d) for d in unique], dtype=np.float64
-    )
-    return unique, ccdf
+    unique, counts = np.unique(degrees, return_counts=True)
+    # Nodes with degree >= unique[i] = suffix sum of the counts.
+    at_least = np.cumsum(counts[::-1])[::-1]
+    return unique, at_least / degrees.size
 
 
 def hill_tail_exponent(snapshot: Snapshot, tail_fraction: float = 0.1) -> float:

@@ -90,10 +90,17 @@ def degrees(snapshot: Snapshot) -> np.ndarray:
 
 
 def pairs_to_indices(snapshot: Snapshot, pairs: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-    """Map an ``(n, 2)`` array of node ids to matrix row/col indices."""
-    pos = snapshot.node_pos
-    rows = np.fromiter((pos[int(u)] for u in pairs[:, 0]), dtype=np.int64, count=len(pairs))
-    cols = np.fromiter((pos[int(v)] for v in pairs[:, 1]), dtype=np.int64, count=len(pairs))
+    """Map an ``(n, 2)`` array of node ids to matrix row/col indices.
+
+    A single vectorised gather against the snapshot's sorted node-id
+    table (two ``searchsorted`` calls) instead of a Python dict lookup
+    per pair; unknown ids raise ``KeyError`` exactly as a dict would.
+    """
+    pairs = np.asarray(pairs, dtype=np.int64)
+    if len(pairs) == 0:
+        return np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64)
+    rows = snapshot.positions_of(pairs[:, 0])
+    cols = snapshot.positions_of(pairs[:, 1])
     return rows, cols
 
 

@@ -3,17 +3,26 @@
 Link prediction scores *unconnected* node pairs.  Which pairs are worth
 scoring depends on the metric: the common-neighbourhood family is identically
 zero beyond two hops, while PA / Rescal / Katz / PPR are defined globally.
-At the library's snapshot scale (a few thousand nodes) both sets are
-enumerated with dense vectorised operations.
+
+Enumeration is sparse and vectorised: the 2-hop set comes from the sparse
+``A^2`` structure (memory O(nnz(A^2)), never a dense n x n mask), and the
+all-pairs set is generated directly from triangular-index arithmetic with a
+byte-per-pair knockout mask — no dense float adjacency is ever materialised
+on this path.
 """
 
 from __future__ import annotations
 
 import numpy as np
+import scipy.sparse as sp
 
 from repro.graph.snapshots import Snapshot
-from repro.metrics.base import cached, dense_adjacency
+from repro.metrics.base import adjacency, cached, two_hop_matrix
 from repro.utils.rng import ensure_rng
+
+
+def _empty_pairs() -> np.ndarray:
+    return np.zeros((0, 2), dtype=np.int64)
 
 
 def two_hop_pairs(snapshot: Snapshot) -> np.ndarray:
@@ -21,14 +30,25 @@ def two_hop_pairs(snapshot: Snapshot) -> np.ndarray:
 
     These are the pairs "most algorithms' predictions are dominated by"
     (Section 4.2); the 2-hop edge ratio lambda_2 is measured against them.
+
+    Computed from the sparse ``A^2`` upper triangle with existing edges
+    knocked out by a vectorised CSR sample — memory O(nnz(A^2)) instead of
+    the dense O(n^2) masks this path used to allocate.  Pairs come back in
+    row-major (node_list) order.
     """
     def compute() -> np.ndarray:
-        a = dense_adjacency(snapshot)
-        a2 = a @ a
-        mask = np.triu((a2 > 0) & (a == 0), k=1)
-        rows, cols = np.nonzero(mask)
-        nodes = np.asarray(snapshot.node_list, dtype=np.int64)
-        return np.column_stack((nodes[rows], nodes[cols]))
+        a = adjacency(snapshot)
+        a2 = two_hop_matrix(snapshot)
+        upper = sp.triu(a2, k=1).tocoo()
+        if upper.nnz == 0:
+            return _empty_pairs()
+        connected = np.asarray(a[upper.row, upper.col]).ravel() > 0
+        reachable = upper.data > 0  # guard explicit zeros
+        keep = reachable & ~connected
+        rows, cols = upper.row[keep], upper.col[keep]
+        order = np.lexsort((cols, rows))
+        ids = snapshot.node_ids
+        return np.column_stack((ids[rows[order]], ids[cols[order]]))
 
     return cached(snapshot, "pairs_two_hop", compute)
 
@@ -36,11 +56,25 @@ def two_hop_pairs(snapshot: Snapshot) -> np.ndarray:
 def all_nonedge_pairs(snapshot: Snapshot) -> np.ndarray:
     """Every unconnected node pair (upper triangle), as node-id pairs."""
     def compute() -> np.ndarray:
-        a = dense_adjacency(snapshot)
-        mask = np.triu(a == 0, k=1)
-        rows, cols = np.nonzero(mask)
-        nodes = np.asarray(snapshot.node_list, dtype=np.int64)
-        return np.column_stack((nodes[rows], nodes[cols]))
+        ids = snapshot.node_ids
+        n = len(ids)
+        if n < 2:
+            return _empty_pairs()
+        # Row i owns the triangular index range [offsets[i], offsets[i+1]):
+        # its pairs (i, j) for j in (i, n).
+        counts = (n - 1) - np.arange(n, dtype=np.int64)
+        offsets = np.concatenate(
+            (np.zeros(1, dtype=np.int64), np.cumsum(counts))
+        )
+        keep = np.ones(int(offsets[-1]), dtype=bool)
+        iu, iv = snapshot.edge_indices()
+        keep[offsets[iu] + (iv - iu - 1)] = False
+        linear = np.flatnonzero(keep)
+        if len(linear) == 0:
+            return _empty_pairs()
+        rows = np.searchsorted(offsets, linear, side="right") - 1
+        cols = linear - offsets[rows] + rows + 1
+        return np.column_stack((ids[rows], ids[cols]))
 
     return cached(snapshot, "pairs_all", compute)
 
@@ -52,10 +86,11 @@ def prewarm_candidate_caches(
 
     The parallel experiment runner calls this once per snapshot per worker
     process so every ``(metric, step, seed)`` work cell dispatched to that
-    worker finds the dense adjacency and candidate-pair arrays already
-    cached, instead of each first-arriving cell paying the O(n^2) build.
+    worker finds the sparse adjacency, ``A^2``, and candidate-pair arrays
+    already cached, instead of each first-arriving cell paying the build.
     """
-    dense_adjacency(snapshot)
+    adjacency(snapshot)
+    two_hop_matrix(snapshot)
     for strategy in set(strategies):
         candidate_pairs(snapshot, strategy)
 
@@ -86,27 +121,56 @@ def random_nonedge_pairs(
     This is the paper's random-prediction baseline and also the filler used
     when a metric has fewer scorable candidates than the prediction budget.
     ``exclude`` removes pairs already predicted by the metric proper.
+
+    Rejection sampling with *batched* RNG draws: each round draws a block
+    of index pairs and eliminates self-pairs and existing edges with
+    vectorised array operations, leaving only dedup/exclusion to a thin
+    Python loop over the survivors.
     """
     generator = ensure_rng(rng)
-    nodes = snapshot.node_list
-    n = len(nodes)
-    available = num_nonedge_pairs(snapshot) - (len(exclude) if exclude else 0)
-    if k > available:
-        k = max(0, available)
+    ids = snapshot.node_ids
+    n = len(ids)
+    excluded: set[tuple[int, int]] = set()
+    if exclude:
+        excluded = {(u, v) if u < v else (v, u) for u, v in exclude if u != v}
+        # Only pairs actually in the non-edge pool shrink it; excluded
+        # existing edges or foreign nodes must not drive it negative.
+        blocked = sum(
+            1
+            for u, v in excluded
+            if snapshot.has_node(u)
+            and snapshot.has_node(v)
+            and not snapshot.has_edge(u, v)
+        )
+    else:
+        blocked = 0
+    available = max(0, num_nonedge_pairs(snapshot) - blocked)
+    k = min(k, available)
+    if k <= 0 or n < 2:
+        return []
+    matrix = snapshot.adjacency_matrix()
     chosen: set[tuple[int, int]] = set()
     result: list[tuple[int, int]] = []
-    # Rejection sampling: the non-edge pool vastly outnumbers k in every
-    # realistic snapshot, so this terminates quickly.
+    # The non-edge pool vastly outnumbers k in every realistic snapshot,
+    # so a couple of rounds suffice.
     while len(result) < k:
-        i, j = generator.integers(n, size=2)
-        if i == j:
+        block = max(32, 2 * (k - len(result)))
+        draw = generator.integers(n, size=(block, 2))
+        i, j = draw[:, 0], draw[:, 1]
+        distinct = i != j
+        lo = np.minimum(i[distinct], j[distinct])
+        hi = np.maximum(i[distinct], j[distinct])
+        if len(lo) == 0:
             continue
-        u, v = nodes[int(i)], nodes[int(j)]
-        pair = (u, v) if u < v else (v, u)
-        if pair in chosen or snapshot.has_edge(*pair):
-            continue
-        if exclude and pair in exclude:
-            continue
-        chosen.add(pair)
-        result.append(pair)
+        nonedge = np.asarray(matrix[lo, hi]).ravel() == 0
+        us = ids[lo[nonedge]].tolist()
+        vs = ids[hi[nonedge]].tolist()
+        for u, v in zip(us, vs):
+            pair = (u, v)
+            if pair in chosen or pair in excluded:
+                continue
+            chosen.add(pair)
+            result.append(pair)
+            if len(result) == k:
+                break
     return result

@@ -9,6 +9,12 @@ For a candidate pair ``(u, v)`` observed at snapshot time ``t``:
 - the *CN time gap* is ``t`` minus the most recent time the pair gained a
   common neighbour (the arrival time of common neighbour ``w`` is
   ``max(t_{uw}, t_{vw})``); pairs with no common neighbour get ``inf``.
+
+The node-level kernels run directly on the trace's event columns: one
+``searchsorted`` bounds the events at or before the snapshot time, then a
+``maximum.at`` / ``bincount`` scatter produces every node's last-activity
+time or windowed edge count in a single vectorised pass — no per-node
+Python bisect loops.
 """
 
 from __future__ import annotations
@@ -33,19 +39,46 @@ class PairActivity:
         return len(self.active_idle)
 
 
+def _global_positions(snapshot: Snapshot) -> np.ndarray:
+    """Snapshot node positions in the trace-wide dense id space."""
+    index = snapshot.trace.stream_index()
+    return np.searchsorted(index.node_ids, snapshot.node_ids)
+
+
 def node_idle_times(snapshot: Snapshot) -> np.ndarray:
     """Idle time of every node (aligned with ``node_list``)."""
-    return np.asarray(
-        [snapshot.idle_time(u) for u in snapshot.node_list], dtype=np.float64
-    )
+    trace = snapshot.trace
+    _, _, times = trace.columns()
+    index = trace.stream_index()
+    now = snapshot.time
+    upto = int(np.searchsorted(times, now, side="right"))
+    last = np.full(len(index.node_ids), -np.inf)
+    np.maximum.at(last, index.eu[:upto], times[:upto])
+    np.maximum.at(last, index.ev[:upto], times[:upto])
+    idle = now - last[_global_positions(snapshot)]
+    # A snapshot node always has an edge at or before the snapshot time,
+    # but guard the never-active case (matches TemporalGraph.idle_time).
+    missing = np.flatnonzero(~np.isfinite(idle))
+    if len(missing):
+        node_list = snapshot.node_list
+        for i in missing:
+            idle[i] = now - trace.node_arrival_time(node_list[int(i)])
+    return idle
 
 
 def node_recent_edges(snapshot: Snapshot, window: float) -> np.ndarray:
     """Recent edge count of every node (aligned with ``node_list``)."""
-    return np.asarray(
-        [snapshot.recent_edge_count(u, window) for u in snapshot.node_list],
-        dtype=np.float64,
+    trace = snapshot.trace
+    _, _, times = trace.columns()
+    index = trace.stream_index()
+    now = snapshot.time
+    hi = int(np.searchsorted(times, now, side="right"))
+    lo = int(np.searchsorted(times, now - window, side="right"))
+    counts = np.bincount(
+        np.concatenate((index.eu[lo:hi], index.ev[lo:hi])),
+        minlength=len(index.node_ids),
     )
+    return counts[_global_positions(snapshot)].astype(np.float64)
 
 
 def cn_time_gap(snapshot: Snapshot, u: int, v: int) -> float:
@@ -77,9 +110,9 @@ def pair_activity(
     """
     idle = node_idle_times(snapshot)
     recent = node_recent_edges(snapshot, window)
-    pos = snapshot.node_pos
-    rows = np.fromiter((pos[int(u)] for u in pairs[:, 0]), dtype=np.int64, count=len(pairs))
-    cols = np.fromiter((pos[int(v)] for v in pairs[:, 1]), dtype=np.int64, count=len(pairs))
+    pairs = np.asarray(pairs, dtype=np.int64)
+    rows = snapshot.positions_of(pairs[:, 0])
+    cols = snapshot.positions_of(pairs[:, 1])
     idle_u, idle_v = idle[rows], idle[cols]
     active_idle = np.minimum(idle_u, idle_v)
     inactive_idle = np.maximum(idle_u, idle_v)
