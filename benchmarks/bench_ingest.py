@@ -1,0 +1,207 @@
+"""Trace-ingestion benchmark: legacy per-line loader vs the block reader.
+
+Times and memory-profiles loading a clean ``u v t`` trace file through
+
+- an inline reimplementation of the seed loader — one Python tuple per
+  line, a full-file ``sorted()`` over those tuples, then per-event
+  ``TemporalGraph.add_edge`` via ``from_stream``; and
+- the hardened pipeline (:func:`repro.ingest.load_trace`) — fixed-size
+  line blocks parsed straight into NumPy columns, one vectorised stable
+  ``argsort``, and the validated-columns fast constructor.
+
+Both sides are checked column-for-column byte-identical before any
+number is trusted, and the new path's ``tracemalloc`` peak is asserted
+strictly below the legacy peak (the "no per-line tuple mountain"
+guarantee).  Results go to ``BENCH_ingest.json`` at the repo root and
+``benchmarks/results/ingest.txt``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_ingest.py          # 150k + 500k events, writes BENCH_ingest.json
+    PYTHONPATH=src python benchmarks/bench_ingest.py --smoke  # ~60k events only, no JSON (CI)
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import os
+import sys
+import time
+import tracemalloc
+from pathlib import Path
+from tempfile import TemporaryDirectory
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.graph.dyngraph import TemporalGraph
+from repro.ingest import load_trace
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: (label, number of events).
+SIZES = (("medium", 150_000), ("large", 500_000))
+SMOKE_SIZES = (("smoke", 60_000),)
+
+
+def synthesize_trace_file(path: Path, n_events: int, seed: int = 7) -> None:
+    """Write a clean trace: unique canonical pairs, sorted repr times."""
+    rng = np.random.default_rng(seed)
+    n_nodes = max(64, n_events // 8)
+    pairs = np.empty((0, 2), dtype=np.int64)
+    while len(pairs) < n_events:
+        draw = rng.integers(0, n_nodes, size=(2 * n_events, 2), dtype=np.int64)
+        draw = draw[draw[:, 0] != draw[:, 1]]
+        lo = np.minimum(draw[:, 0], draw[:, 1])
+        hi = np.maximum(draw[:, 0], draw[:, 1])
+        pairs = np.unique(np.stack((lo, hi), axis=1), axis=0)
+    keep = rng.permutation(len(pairs))[:n_events]
+    pairs = pairs[keep]
+    times = np.sort(rng.exponential(scale=0.01, size=n_events).cumsum())
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write("# repro-trace v2\n# u v t(days)\n")
+        fh.writelines(
+            f"{u} {v} {t!r}\n"
+            for u, v, t in zip(
+                pairs[:, 0].tolist(), pairs[:, 1].tolist(), times.tolist()
+            )
+        )
+
+
+# ---------------------------------------------------------------------------
+# Legacy loader (inline reimplementation of the seed read_trace)
+# ---------------------------------------------------------------------------
+def legacy_read_trace(path: Path) -> TemporalGraph:
+    """Per-line tuples, full-file sorted(), per-event add_edge."""
+
+    def iter_lines():
+        with open(path, encoding="ascii") as fh:
+            for lineno, line in enumerate(fh, start=1):
+                line = line.strip()
+                if not line or line.startswith("#"):
+                    continue
+                parts = line.split()
+                if len(parts) == 2:
+                    u, v = parts
+                    yield int(u), int(v), float(lineno)
+                elif len(parts) == 3:
+                    u, v, t = parts
+                    yield int(u), int(v), float(t)
+                else:
+                    raise ValueError(
+                        f"{path}:{lineno}: expected 'u v [t]', got {line!r}"
+                    )
+
+    events = sorted(iter_lines(), key=lambda e: e[2])
+    return TemporalGraph.from_stream(events)
+
+
+def _measure(fn) -> tuple[TemporalGraph, float, int]:
+    """(result, wall seconds, tracemalloc peak bytes) for a cold load.
+
+    Timing and memory profiling run as separate loads: tracemalloc's
+    per-allocation hook would otherwise dominate the timed region and
+    skew it against whichever side allocates more objects.
+    """
+    elapsed = float("inf")
+    for _ in range(3):
+        gc.collect()
+        started = time.perf_counter()
+        result = fn()
+        elapsed = min(elapsed, time.perf_counter() - started)
+    gc.collect()
+    tracemalloc.start()
+    fn()
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return result, elapsed, peak
+
+
+def bench_size(label: str, n_events: int, workdir: Path) -> dict:
+    trace_path = workdir / f"trace_{label}.txt"
+    synthesize_trace_file(trace_path, n_events)
+
+    # Each side is measured with the other side's graph already freed:
+    # a live multi-million-object graph would make every cyclic-GC pass
+    # during the other loader's timed run scan it, doubling wall time.
+    new_graph, new_s, new_peak = _measure(lambda: load_trace(trace_path))
+    new_cols = [col.copy() for col in new_graph.columns()]
+    report = new_graph.ingest_report
+    assert report.clean and report.events_accepted == n_events
+    del new_graph
+
+    legacy_graph, legacy_s, legacy_peak = _measure(
+        lambda: legacy_read_trace(trace_path)
+    )
+    legacy_cols = [col.copy() for col in legacy_graph.columns()]
+    del legacy_graph
+
+    # Parity before any number is trusted: byte-identical columns.
+    for old, new in zip(legacy_cols, new_cols):
+        assert old.tobytes() == new.tobytes(), "ingest parity broke"
+
+    # The acceptance bar: block parsing must beat the per-line tuple
+    # mountain on peak heap, at every size including the smoke entry.
+    assert new_peak < legacy_peak, (
+        f"ingest peak regression: new {new_peak} >= legacy {legacy_peak}"
+    )
+    return {
+        "label": label,
+        "events": n_events,
+        "file_bytes": trace_path.stat().st_size,
+        "legacy_s": round(legacy_s, 4),
+        "ingest_s": round(new_s, 4),
+        "speedup": round(legacy_s / new_s, 2),
+        "legacy_peak_bytes": int(legacy_peak),
+        "ingest_peak_bytes": int(new_peak),
+        "peak_reduction": round(legacy_peak / max(1, new_peak), 2),
+    }
+
+
+def run(sizes, write_json: bool) -> dict:
+    report = {"bench": "ingest", "cpus": os.cpu_count(), "sizes": []}
+    with TemporaryDirectory() as tmp:
+        for label, n_events in sizes:
+            entry = bench_size(label, n_events, Path(tmp))
+            report["sizes"].append(entry)
+            print(
+                f"[{label}] E={entry['events']}: "
+                f"legacy {entry['legacy_s']}s / {entry['legacy_peak_bytes']} B peak, "
+                f"ingest {entry['ingest_s']}s / {entry['ingest_peak_bytes']} B peak "
+                f"({entry['speedup']}x faster, {entry['peak_reduction']}x less memory)"
+            )
+
+    if write_json:
+        path = REPO_ROOT / "BENCH_ingest.json"
+        path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+        results_dir = Path(__file__).parent / "results"
+        results_dir.mkdir(exist_ok=True)
+        lines = [
+            f"{e['label']:>6} (E={e['events']}): load {e['speedup']}x faster, "
+            f"peak mem {e['peak_reduction']}x smaller "
+            f"({e['legacy_peak_bytes']} -> {e['ingest_peak_bytes']} bytes)"
+            for e in report["sizes"]
+        ]
+        (results_dir / "ingest.txt").write_text(
+            "\n".join(lines) + "\n", encoding="utf-8"
+        )
+        print(f"wrote {path}")
+    return report
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="~60k events only, parity-checked, no BENCH_ingest.json rewrite",
+    )
+    args = parser.parse_args()
+    run(SMOKE_SIZES if args.smoke else SIZES, write_json=not args.smoke)
+
+
+if __name__ == "__main__":
+    main()

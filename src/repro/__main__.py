@@ -8,14 +8,16 @@ compare    rank several metrics on one trace
 suggest    print top-k link recommendations for the latest snapshot
 report     markdown predictability report for a trace
 experiment run a JSON ``ExperimentSpec`` (``--jobs N`` parallelises it)
+audit      diagnose a trace file: ingest taxonomy + graph-integrity audit
 
 Examples
 --------
-    python -m repro generate --dataset facebook --out fb.txt
+    python -m repro generate --dataset facebook --out fb.txt.gz --gzip
     python -m repro evaluate --trace fb.txt --metric RA --delta 260
     python -m repro compare --dataset youtube --metrics Rescal,BRA,PA,JC
     python -m repro suggest --dataset facebook --metric RA -k 10
     python -m repro experiment --spec spec.json --jobs 8 --out result.json
+    python -m repro audit --trace crawl.txt.gz
 """
 
 from __future__ import annotations
@@ -32,9 +34,21 @@ from repro.graph.snapshots import snapshot_sequence
 
 
 def _load_trace(args):
-    """Trace from --trace file or --dataset preset."""
+    """Trace from --trace file or --dataset preset.
+
+    File loads run the ingest pipeline under ``--policy``; anything the
+    pipeline flagged, repaired, or quarantined is summarised on stderr so
+    preprocessing decisions are visible next to the results they shaped.
+    """
     if args.trace:
-        return read_trace(args.trace)
+        from repro.ingest import IngestPolicy
+
+        policy = IngestPolicy.from_string(getattr(args, "policy", "default"))
+        trace = read_trace(args.trace, policy=policy)
+        report = trace.ingest_report
+        if report is not None and not report.clean:
+            print(report.summary(), file=sys.stderr)
+        return trace
     return presets.load(args.dataset, scale=args.scale, seed=args.seed)
 
 
@@ -57,13 +71,46 @@ def _add_trace_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--scale", type=float, default=0.5, help="preset size multiplier")
     parser.add_argument("--seed", type=int, default=0, help="generation / tie-break seed")
     parser.add_argument("--delta", type=int, help="snapshot delta (new edges per snapshot)")
+    parser.add_argument(
+        "--policy",
+        default="default",
+        choices=["default", "strict", "repair", "quarantine"],
+        help="ingest policy for --trace files: how parse errors, self-loops, "
+        "duplicates, bad timestamps, and out-of-order events are handled",
+    )
 
 
 def cmd_generate(args) -> int:
     trace = presets.load(args.dataset, scale=args.scale, seed=args.seed)
-    write_trace(trace, args.out)
+    write_trace(trace, args.out, compress=True if args.gzip else None)
     print(f"wrote {trace} to {args.out}")
     return 0
+
+
+def cmd_audit(args) -> int:
+    """Diagnose a trace file end to end: ingest taxonomy + core invariants.
+
+    Loads under a diagnostic (default: repair-everything) policy so a dirty
+    file is fully classified instead of aborting at the first error, prints
+    the ingest and audit summaries to stderr, and exits 1 when anything was
+    flagged — the fail-fast gate CI runs on fixture traces.
+    """
+    from repro.graph.audit import audit_graph
+    from repro.ingest import IngestPolicy, TraceFormatError, load_trace
+
+    policy = IngestPolicy.from_string(args.policy)
+    try:
+        trace = load_trace(args.trace, policy=policy, quarantine_path=args.rejects)
+    except TraceFormatError as exc:
+        print(f"[ingest] {exc}", file=sys.stderr)
+        return 1
+    ingest_report = trace.ingest_report
+    print(ingest_report.summary(), file=sys.stderr)
+    audit_report = audit_graph(trace)
+    print(audit_report.summary(), file=sys.stderr)
+    clean = ingest_report.clean and audit_report.ok
+    print(f"{args.trace}: {'clean' if clean else 'FLAGGED'} — {trace}")
+    return 0 if clean else 1
 
 
 def cmd_evaluate(args) -> int:
@@ -175,7 +222,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scale", type=float, default=0.5)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--out", required=True, help="output path")
+    p.add_argument(
+        "--gzip",
+        action="store_true",
+        help="gzip the output (also implied by a .gz suffix on --out)",
+    )
     p.set_defaults(func=cmd_generate)
+
+    p = sub.add_parser(
+        "audit", help="diagnose a trace file (ingest taxonomy + invariants)"
+    )
+    p.add_argument("--trace", required=True, help="path to a 'u v t' trace file")
+    p.add_argument(
+        "--policy",
+        default="repair",
+        choices=["default", "strict", "repair", "quarantine"],
+        help="ingest policy to diagnose under (default: repair, so the "
+        "whole file is classified instead of stopping at the first error)",
+    )
+    p.add_argument(
+        "--rejects",
+        help="sidecar path for quarantined lines (default: <trace>.rejects; "
+        "only written under --policy quarantine)",
+    )
+    p.set_defaults(func=cmd_audit)
 
     p = sub.add_parser("evaluate", help="run one predictor over a trace")
     _add_trace_arguments(p)

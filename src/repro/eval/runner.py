@@ -336,15 +336,25 @@ def _load_trace(spec: ExperimentSpec):
     return read_trace(spec.dataset)
 
 
-def build_plan(spec: ExperimentSpec) -> ExperimentPlan:
+def build_plan(spec: ExperimentSpec, preflight_audit: bool = True) -> ExperimentPlan:
     """Load the trace, slice snapshots, and calibrate the optional filter.
 
     Everything here is a pure function of the spec (filter calibration is
     pinned to ``rng=0``), which is what makes worker-side reconstruction
     safe: any process holding the spec derives the identical plan.
+
+    ``preflight_audit`` runs the columnar-core integrity auditor
+    (:func:`repro.graph.audit.audit_graph`) on the loaded trace — a
+    milliseconds-cheap vectorised pass — so a corrupted input raises
+    :class:`~repro.graph.audit.TraceAuditError` with a diagnosis here,
+    before any work cell of a potentially multi-hour journaled sweep runs.
     """
     spec.validate()
     trace = _load_trace(spec)
+    if preflight_audit:
+        from repro.graph.audit import require_clean
+
+        require_clean(trace, context=f"pre-flight audit of {spec.dataset!r}")
     delta = spec.delta
     if delta is None:
         if spec.dataset in presets.DATASETS:

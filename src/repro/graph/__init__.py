@@ -8,6 +8,7 @@ both for the evolution figures (Figs. 2-4) and as meta-classifier features
 (Section 4.3), snowball sampling (Section 5.1), and plain-text trace I/O.
 """
 
+from repro.graph.audit import AuditReport, TraceAuditError, audit_graph
 from repro.graph.dyngraph import TemporalGraph
 from repro.graph.sampling import snowball_sample
 from repro.graph.snapshots import Snapshot, snapshot_sequence
@@ -20,4 +21,7 @@ __all__ = [
     "snowball_sample",
     "GraphFeatures",
     "graph_features",
+    "AuditReport",
+    "TraceAuditError",
+    "audit_graph",
 ]

@@ -150,6 +150,15 @@ class Snapshot:
             self._deg = counts.astype(np.int64)
         return self._indptr, self._indices
 
+    def csr_structure(self) -> tuple[np.ndarray, np.ndarray]:
+        """Public view of the CSR adjacency ``(indptr, indices)``.
+
+        Used by the graph-integrity auditor (:mod:`repro.graph.audit`) to
+        check degree totals against the edge columns without reaching into
+        private state; treat the returned arrays as read-only.
+        """
+        return self._structure()
+
     def positions_of(self, values: np.ndarray) -> np.ndarray:
         """Vectorised node id -> position lookup (raises on unknown ids)."""
         values = np.asarray(values, dtype=np.int64)

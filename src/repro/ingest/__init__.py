@@ -1,0 +1,50 @@
+"""Hardened trace ingestion: streaming validation, repair, quarantine.
+
+The data-plane counterpart of the execution-plane fault tolerance in
+:mod:`repro.eval`: crawled OSN traces arrive with parse errors,
+self-loops, duplicate events, non-finite or negative timestamps, and
+out-of-order records (Section 3 of the paper), and every one of those is
+classified, policy-handled, and reported instead of trusted or silently
+dropped.
+
+Public surface:
+
+- :func:`load_trace` — streaming block loader returning a
+  ``TemporalGraph`` with an attached :class:`IngestReport`;
+- :func:`scan_trace` — the array-level pipeline (columns + report);
+- :class:`IngestPolicy` — per-error-class ``strict`` / ``repair`` /
+  ``quarantine`` actions;
+- :class:`TraceFormatError` — located, classified format errors;
+- :func:`read_rejects` — parse a quarantine sidecar back losslessly.
+"""
+
+from repro.ingest.errors import ERROR_CLASSES, RejectRecord, TraceFormatError
+from repro.ingest.loader import (
+    classify_event_line,
+    is_gzip,
+    iter_events,
+    load_trace,
+    open_trace_text,
+    read_rejects,
+    scan_trace,
+    stream_checksum,
+)
+from repro.ingest.policy import ACTIONS, IngestPolicy
+from repro.ingest.report import IngestReport
+
+__all__ = [
+    "ACTIONS",
+    "ERROR_CLASSES",
+    "IngestPolicy",
+    "IngestReport",
+    "RejectRecord",
+    "TraceFormatError",
+    "classify_event_line",
+    "is_gzip",
+    "iter_events",
+    "load_trace",
+    "open_trace_text",
+    "read_rejects",
+    "scan_trace",
+    "stream_checksum",
+]

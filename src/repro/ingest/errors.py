@@ -1,0 +1,82 @@
+"""Error taxonomy for trace ingestion.
+
+Crawled OSN traces arrive dirty — Section 3 of the paper works around
+snowball-sampling bias, missing timestamps, and burst-y duplicate events,
+and Junuthula et al. (PAPERS.md) show that how such events are counted can
+flip evaluation conclusions.  Every record the loader rejects or repairs is
+therefore classified into one of a fixed set of *error classes*, so the
+decision is explicit, reported, and testable instead of a bare
+``ValueError`` (or worse, silence).
+
+The classes, in the order the pipeline checks them:
+
+``parse_error``
+    The line is not ``u v [t]``: wrong field count, or a token that is not
+    numeric at all.
+``bad_node_id``
+    A node token that is numeric but not a valid id: non-integer (``3.5``),
+    negative, or outside the int64 range.
+``nonfinite_time``
+    Timestamp parsed to ``nan`` / ``inf``.
+``negative_time``
+    Finite timestamp below zero (times are days since trace start).
+``self_loop``
+    ``u == v``.
+``out_of_order``
+    Event timestamp smaller than an earlier event's (crawl artefact; the
+    paper's snapshot sequencing assumes a time-ordered stream).
+``duplicate_edge``
+    A ``(u, v)`` pair already seen earlier in the (time-ordered) stream —
+    the traces record first creation only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: every error class, in pipeline check order.
+ERROR_CLASSES: tuple[str, ...] = (
+    "parse_error",
+    "bad_node_id",
+    "nonfinite_time",
+    "negative_time",
+    "self_loop",
+    "out_of_order",
+    "duplicate_edge",
+)
+
+
+class TraceFormatError(ValueError):
+    """A trace record violated the format under a ``strict`` policy.
+
+    Carries the machine-readable context (error class, path, line number,
+    offending line) that the bare ``ValueError`` of the old loader lost.
+    Subclasses ``ValueError`` so existing ``except ValueError`` call sites
+    (notably the CLI's exit-2 handler) keep working.
+    """
+
+    def __init__(
+        self,
+        error_class: str,
+        path: str,
+        lineno: "int | None",
+        line: "str | None",
+        detail: str,
+    ) -> None:
+        self.error_class = error_class
+        self.path = str(path)
+        self.lineno = lineno
+        self.line = line
+        self.detail = detail
+        where = self.path if lineno is None else f"{self.path}:{lineno}"
+        snippet = "" if line is None else f", got {line!r}"
+        super().__init__(f"{where}: [{error_class}] {detail}{snippet}")
+
+
+@dataclass(frozen=True)
+class RejectRecord:
+    """One quarantined line, as stored in a ``.rejects`` sidecar file."""
+
+    lineno: int
+    error_class: str
+    line: str

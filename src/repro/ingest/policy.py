@@ -1,0 +1,98 @@
+"""Per-error-class repair policies for trace ingestion.
+
+Each error class (see :mod:`repro.ingest.errors`) is handled by one of
+three *actions*:
+
+``strict``
+    Raise :class:`~repro.ingest.errors.TraceFormatError` with file:line
+    context and the offending line.
+``repair``
+    Apply the class's deterministic fix and continue: drop the record
+    (``parse_error`` / ``bad_node_id`` / ``nonfinite_time`` / ``self_loop``
+    / ``duplicate_edge``), clamp the timestamp to ``0.0``
+    (``negative_time``), or stable-sort the stream by time
+    (``out_of_order``).
+``quarantine``
+    Divert the offending lines to a ``.rejects`` sidecar file (lossless —
+    the raw lines are preserved) and continue without them.
+
+The default mapping reproduces the legacy loader's observable behaviour —
+malformed lines and self-loops raise, duplicates are dropped, unsorted
+files are sorted — while making every one of those decisions counted and
+reported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+from repro.ingest.errors import ERROR_CLASSES
+
+#: the three actions a policy can assign to an error class.
+ACTIONS: tuple[str, ...] = ("strict", "repair", "quarantine")
+
+
+@dataclass(frozen=True)
+class IngestPolicy:
+    """Action per error class.  Immutable; construct presets via the
+    classmethods or override individual classes by keyword."""
+
+    parse_error: str = "strict"
+    bad_node_id: str = "strict"
+    nonfinite_time: str = "strict"
+    negative_time: str = "strict"
+    self_loop: str = "strict"
+    out_of_order: str = "repair"
+    duplicate_edge: str = "repair"
+
+    def __post_init__(self) -> None:
+        for cls in ERROR_CLASSES:
+            action = getattr(self, cls)
+            if action not in ACTIONS:
+                raise ValueError(
+                    f"invalid action {action!r} for {cls!r}; choose from {ACTIONS}"
+                )
+
+    def action(self, error_class: str) -> str:
+        if error_class not in ERROR_CLASSES:
+            raise KeyError(error_class)
+        return getattr(self, error_class)
+
+    def describe(self) -> dict[str, str]:
+        """Class -> action mapping (stored on the :class:`IngestReport`)."""
+        return asdict(self)
+
+    # -- presets --------------------------------------------------------
+    @classmethod
+    def default(cls) -> "IngestPolicy":
+        """Legacy-compatible mapping (see module docstring)."""
+        return cls()
+
+    @classmethod
+    def strict(cls) -> "IngestPolicy":
+        return cls(**{c: "strict" for c in ERROR_CLASSES})
+
+    @classmethod
+    def repair(cls) -> "IngestPolicy":
+        return cls(**{c: "repair" for c in ERROR_CLASSES})
+
+    @classmethod
+    def quarantine(cls) -> "IngestPolicy":
+        return cls(**{c: "quarantine" for c in ERROR_CLASSES})
+
+    @classmethod
+    def from_string(cls, name: str) -> "IngestPolicy":
+        """Resolve a CLI-style policy word (``default``/``strict``/
+        ``repair``/``quarantine``)."""
+        presets = {
+            "default": cls.default,
+            "strict": cls.strict,
+            "repair": cls.repair,
+            "quarantine": cls.quarantine,
+        }
+        try:
+            return presets[name]()
+        except KeyError:
+            raise ValueError(
+                f"unknown ingest policy {name!r}; choose from {sorted(presets)}"
+            ) from None

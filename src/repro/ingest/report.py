@@ -1,0 +1,118 @@
+"""Ingest provenance: what the loader saw, fixed, and rejected.
+
+"Predictability of real temporal networks" (PAPERS.md) stresses that
+preprocessing choices dominate reported predictability, so every load
+produces an :class:`IngestReport` — attached to the returned
+``TemporalGraph`` as ``trace.ingest_report`` and printed by the CLI — that
+records exactly how the raw file was turned into the accepted event
+stream: per-class flagged/repaired/quarantined counts, the accepted-stream
+time span, and a checksum of the accepted columns (so two loads can be
+compared without re-reading the file).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+
+def _zero_counts() -> dict[str, int]:
+    return {}
+
+
+@dataclass
+class IngestReport:
+    """Provenance record of one :func:`repro.ingest.load_trace` call."""
+
+    path: str = ""
+    #: error class -> action, the policy the load ran under.
+    policy: dict = field(default_factory=dict)
+    #: physical lines in the file, including comments and blanks.
+    lines_total: int = 0
+    comment_lines: int = 0
+    blank_lines: int = 0
+    #: candidate events that entered validation (parsed or parse-flagged).
+    events_parsed: int = 0
+    #: events in the accepted stream (== loaded graph's num_edges).
+    events_accepted: int = 0
+    #: error class -> number of records detected in that class.
+    flagged: dict = field(default_factory=_zero_counts)
+    #: error class -> number of records repaired (dropped/clamped/reordered).
+    repaired: dict = field(default_factory=_zero_counts)
+    #: error class -> number of lines diverted to the sidecar file.
+    quarantined: dict = field(default_factory=_zero_counts)
+    #: sidecar path, set only when at least one line was quarantined.
+    quarantine_path: "str | None" = None
+    #: accepted-stream time span (0.0/0.0 when no events were accepted).
+    min_time: float = 0.0
+    max_time: float = 0.0
+    #: sha256 (truncated) over the accepted (u, v, t) column bytes.
+    checksum: str = ""
+    #: True when the input was gzip-compressed.
+    gzip: bool = False
+    #: format version parsed from a ``# repro-trace vN`` header, if present.
+    format_version: "int | None" = None
+
+    # ------------------------------------------------------------------
+    @property
+    def total_flagged(self) -> int:
+        return sum(self.flagged.values())
+
+    @property
+    def clean(self) -> bool:
+        """True when no record needed repairing or quarantining."""
+        return self.total_flagged == 0
+
+    def count(self, error_class: str, bucket: "dict | None" = None) -> int:
+        return (self.flagged if bucket is None else bucket).get(error_class, 0)
+
+    # ------------------------------------------------------------------
+    def _counts_str(self, counts: dict) -> str:
+        return " ".join(f"{k}={counts[k]}" for k in sorted(counts)) or "none"
+
+    def summary(self) -> str:
+        """Multi-line human summary (the CLI prints this on stderr)."""
+        src = f"{self.path} (gzip)" if self.gzip else self.path
+        version = (
+            f" format v{self.format_version}" if self.format_version else ""
+        )
+        lines = [
+            f"[ingest] {src}:{version} {self.lines_total} lines "
+            f"({self.comment_lines} comment, {self.blank_lines} blank), "
+            f"{self.events_parsed} events parsed, "
+            f"{self.events_accepted} accepted",
+            f"[ingest] flagged: {self._counts_str(self.flagged)}"
+            f" | repaired: {self._counts_str(self.repaired)}"
+            f" | quarantined: {self._counts_str(self.quarantined)}"
+            + (f" -> {self.quarantine_path}" if self.quarantine_path else ""),
+        ]
+        if self.events_accepted:
+            lines.append(
+                f"[ingest] time span [{self.min_time!r}, {self.max_time!r}] "
+                f"days, checksum {self.checksum}"
+            )
+        return "\n".join(lines)
+
+    def to_payload(self) -> dict:
+        """JSON-safe dict (for logging / result files)."""
+        return {
+            "path": self.path,
+            "policy": dict(self.policy),
+            "lines_total": self.lines_total,
+            "comment_lines": self.comment_lines,
+            "blank_lines": self.blank_lines,
+            "events_parsed": self.events_parsed,
+            "events_accepted": self.events_accepted,
+            "flagged": dict(self.flagged),
+            "repaired": dict(self.repaired),
+            "quarantined": dict(self.quarantined),
+            "quarantine_path": self.quarantine_path,
+            "min_time": self.min_time,
+            "max_time": self.max_time,
+            "checksum": self.checksum,
+            "gzip": self.gzip,
+            "format_version": self.format_version,
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_payload(), indent=2)

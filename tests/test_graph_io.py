@@ -1,8 +1,17 @@
 """Unit tests for trace serialisation (repro.graph.io)."""
 
+import gzip
+
+import numpy as np
 import pytest
 
-from repro.graph.io import read_trace, write_trace
+from repro.graph.io import (
+    TRACE_FORMAT_VERSION,
+    iter_trace_lines,
+    read_trace,
+    write_trace,
+)
+from repro.ingest import TraceFormatError
 
 
 class TestRoundTrip:
@@ -15,6 +24,35 @@ class TestRoundTrip:
         for (u1, v1, t1), (u2, v2, t2) in zip(tiny_trace.edges(), loaded.edges()):
             assert (u1, v1) == (u2, v2)
             assert t1 == pytest.approx(t2, abs=1e-5)
+
+    def test_round_trip_is_float_exact(self, tiny_trace, tmp_path):
+        # repr-based serialisation preserves every bit of the float64
+        # timestamps, not just six decimal places.
+        path = tmp_path / "trace.txt"
+        write_trace(tiny_trace, path)
+        loaded = read_trace(path)
+        _, _, t_ref = tiny_trace.columns()
+        _, _, t_loaded = loaded.columns()
+        assert t_loaded.tobytes() == t_ref.tobytes()
+
+    def test_sub_second_timestamps_survive(self, tmp_path):
+        from repro.graph.dyngraph import TemporalGraph
+
+        times = [0.1, 1 / 3, 0.7000000000000001, 123456.78901234567]
+        trace = TemporalGraph.from_stream(
+            (i, i + 1, t) for i, t in enumerate(times)
+        )
+        path = tmp_path / "trace.txt"
+        write_trace(trace, path)
+        _, _, t_loaded = read_trace(path).columns()
+        assert t_loaded.tolist() == times
+
+    def test_format_version_header_written(self, tiny_trace, tmp_path):
+        path = tmp_path / "trace.txt"
+        write_trace(tiny_trace, path)
+        first = path.read_text(encoding="utf-8").splitlines()[0]
+        assert first == f"# repro-trace v{TRACE_FORMAT_VERSION}"
+        assert read_trace(path).ingest_report.format_version == TRACE_FORMAT_VERSION
 
     def test_comments_and_blanks_skipped(self, tmp_path):
         path = tmp_path / "trace.txt"
@@ -42,3 +80,90 @@ class TestRoundTrip:
         path.write_text("0 1 2 3 4\n")
         with pytest.raises(ValueError, match="expected"):
             read_trace(path)
+
+
+class TestGzip:
+    def test_gz_suffix_round_trip(self, tiny_trace, tmp_path):
+        path = tmp_path / "trace.txt.gz"
+        write_trace(tiny_trace, path)
+        # really gzipped on disk, not just named that way.
+        assert path.read_bytes()[:2] == b"\x1f\x8b"
+        loaded = read_trace(path)
+        u, v, t = tiny_trace.columns()
+        lu, lv, lt = loaded.columns()
+        assert np.array_equal(lu, u) and np.array_equal(lv, v)
+        assert lt.tobytes() == t.tobytes()
+        assert loaded.ingest_report.gzip
+
+    def test_explicit_compress_flag(self, tiny_trace, tmp_path):
+        path = tmp_path / "trace.txt"  # no .gz suffix
+        write_trace(tiny_trace, path, compress=True)
+        assert path.read_bytes()[:2] == b"\x1f\x8b"
+        assert read_trace(path).num_edges == tiny_trace.num_edges
+
+    def test_compress_false_overrides_suffix(self, tiny_trace, tmp_path):
+        path = tmp_path / "trace.txt.gz"
+        write_trace(tiny_trace, path, compress=False)
+        assert path.read_bytes()[:2] != b"\x1f\x8b"
+        assert read_trace(path).num_edges == tiny_trace.num_edges
+
+
+class TestEncoding:
+    def test_utf8_bom_tolerated(self, tmp_path):
+        path = tmp_path / "bom.txt"
+        path.write_bytes(b"\xef\xbb\xbf0 1 0.5\n1 2 1.5\n")
+        assert read_trace(path).num_edges == 2
+
+    def test_non_ascii_comments_tolerated(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text("# données du réseau 网络\n0 1 0.5\n", encoding="utf-8")
+        assert read_trace(path).num_edges == 1
+
+
+class TestContextualErrors:
+    """int()/float() failures surface file, line number, and snippet."""
+
+    def test_bad_int_reports_location(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0 1 0.5\n1 x 1.5\n", encoding="utf-8")
+        with pytest.raises(TraceFormatError) as excinfo:
+            read_trace(path)
+        err = excinfo.value
+        assert err.lineno == 2
+        assert err.path == str(path)
+        assert err.line == "1 x 1.5"
+        assert f"{path}:2" in str(err)
+
+    def test_bad_float_reports_location(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0 1 0.5\n1 2 12:30\n", encoding="utf-8")
+        with pytest.raises(TraceFormatError, match=r":2:"):
+            read_trace(path)
+
+    def test_fractional_node_id_is_bad_node_id(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0.5 1 1.0\n", encoding="utf-8")
+        with pytest.raises(TraceFormatError) as excinfo:
+            read_trace(path)
+        assert excinfo.value.error_class == "bad_node_id"
+
+
+class TestIterTraceLines:
+    def test_streams_events_in_file_order(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text("# c\n0 1 0.5\n1 2 1.5\n", encoding="utf-8")
+        assert list(iter_trace_lines(path)) == [(0, 1, 0.5), (1, 2, 1.5)]
+
+    def test_gzip_input(self, tmp_path):
+        path = tmp_path / "trace.txt.gz"
+        with gzip.open(path, "wt", encoding="utf-8") as fh:
+            fh.write("0 1 0.5\n")
+        assert list(iter_trace_lines(path)) == [(0, 1, 0.5)]
+
+    def test_malformed_line_raises_with_location(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0 1 0.5\nnot a line\n", encoding="utf-8")
+        events = iter_trace_lines(path)
+        assert next(events) == (0, 1, 0.5)
+        with pytest.raises(TraceFormatError, match=r":2:"):
+            next(events)
