@@ -1,0 +1,120 @@
+"""Shared result schema + writer for the repo-root ``BENCH_*.json`` files.
+
+Every perf-trajectory benchmark (``bench_core_scaling.py``,
+``bench_ingest.py``, ``bench_telemetry_overhead.py``) serialises its
+report through :func:`write_report`, so the trajectory files share one
+validated shape instead of drifting per-bench conventions:
+
+``{"bench": <name>, "schema": 1, "cpus": <os.cpu_count()>, "sizes": [...]}``
+
+where every entry of ``sizes`` is a JSON-safe dict carrying a unique
+string ``label``.  Validation happens before anything touches disk —
+a benchmark that builds a malformed report fails loudly instead of
+committing a trajectory file the comparison tooling cannot read.
+
+The writer also owns the human-readable side: one line per size entry
+into ``benchmarks/results/<bench>.txt`` when the caller supplies a
+formatter.  Writes are atomic (tmp + ``os.replace``) so an interrupted
+benchmark never leaves a half-written trajectory file behind.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+#: version of the shared BENCH_*.json shape; bump on breaking changes.
+BENCH_SCHEMA_VERSION = 1
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+class BenchReportError(ValueError):
+    """A benchmark produced a report that violates the shared schema."""
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise BenchReportError(message)
+
+
+def build_report(bench: str, sizes: "list[dict]") -> dict:
+    """Assemble and validate the canonical report envelope."""
+    report = {
+        "bench": bench,
+        "schema": BENCH_SCHEMA_VERSION,
+        "cpus": os.cpu_count(),
+        "sizes": list(sizes),
+    }
+    validate_report(report)
+    return report
+
+
+def validate_report(report: dict) -> dict:
+    """Check a report against the shared schema; returns it unchanged."""
+    _require(isinstance(report, dict), "report must be a dict")
+    missing = {"bench", "schema", "cpus", "sizes"} - set(report)
+    _require(not missing, f"report missing keys: {sorted(missing)}")
+    _require(
+        isinstance(report["bench"], str) and bool(report["bench"]),
+        "report['bench'] must be a non-empty string",
+    )
+    _require(
+        report["schema"] == BENCH_SCHEMA_VERSION,
+        f"report['schema'] must be {BENCH_SCHEMA_VERSION}, "
+        f"got {report['schema']!r}",
+    )
+    _require(
+        isinstance(report["sizes"], list) and len(report["sizes"]) > 0,
+        "report['sizes'] must be a non-empty list",
+    )
+    labels = []
+    for index, entry in enumerate(report["sizes"]):
+        _require(
+            isinstance(entry, dict),
+            f"sizes[{index}] must be a dict, got {type(entry).__name__}",
+        )
+        label = entry.get("label")
+        _require(
+            isinstance(label, str) and bool(label),
+            f"sizes[{index}] needs a non-empty string 'label'",
+        )
+        labels.append(label)
+    _require(
+        len(labels) == len(set(labels)),
+        f"size labels must be unique, got {labels}",
+    )
+    try:
+        json.dumps(report, allow_nan=False)
+    except (TypeError, ValueError) as exc:
+        raise BenchReportError(f"report is not JSON-safe: {exc}") from None
+    return report
+
+
+def _atomic_write(path: Path, text: str) -> None:
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(text, encoding="utf-8")
+    os.replace(tmp, path)
+
+
+def write_report(report: dict, line_formatter=None, json_stem: "str | None" = None) -> Path:
+    """Validate + write ``BENCH_<stem>.json`` at the repo root.
+
+    ``json_stem`` defaults to the bench name (``BENCH_core.json`` keeps
+    its historical stem while carrying ``bench: "core_scaling"``).
+    ``line_formatter(entry) -> str``, when given, also renders one line
+    per size entry into ``benchmarks/results/<bench>.txt``.
+    """
+    validate_report(report)
+    path = REPO_ROOT / f"BENCH_{json_stem or report['bench']}.json"
+    _atomic_write(path, json.dumps(report, indent=2) + "\n")
+    if line_formatter is not None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        lines = [line_formatter(entry) for entry in report["sizes"]]
+        _atomic_write(
+            RESULTS_DIR / f"{report['bench']}.txt", "\n".join(lines) + "\n"
+        )
+    print(f"wrote {path}")
+    return path

@@ -33,8 +33,6 @@ Usage::
 from __future__ import annotations
 
 import argparse
-import json
-import os
 import sys
 import time
 import tracemalloc
@@ -44,14 +42,14 @@ import numpy as np
 import scipy.sparse as sp
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+sys.path.insert(0, str(Path(__file__).resolve().parent))
 
+from _common import build_report, write_report
 from repro.generators import presets
 from repro.graph.dyngraph import TemporalGraph
 from repro.graph.snapshots import Snapshot, snapshot_sequence
 from repro.metrics.base import get_metric
 from repro.metrics.candidates import candidate_pairs
-
-REPO_ROOT = Path(__file__).resolve().parent.parent
 
 #: (label, preset, scale) — three sizes of the dense friendship trace, plus
 #: the sparse subscription trace where the dense n^2 candidate buffers used
@@ -284,12 +282,20 @@ def bench_metric_sweep(trace: TemporalGraph, delta: int) -> dict:
     }
 
 
+def _summary_line(e: dict) -> str:
+    return (
+        f"{e['label']:>6} (n={e['nodes']}, E={e['edges']}): "
+        f"seq {e['snapshot_sequence']['speedup']}x, "
+        f"two-hop peak mem "
+        f"{e['candidate_enumeration']['two_hop']['peak_reduction']}x smaller, "
+        f"all-pairs peak mem "
+        f"{e['candidate_enumeration']['all']['peak_reduction']}x smaller, "
+        f"sweep {e['metric_sweep']['speedup']}x"
+    )
+
+
 def run(scales, write_json: bool) -> dict:
-    report = {
-        "bench": "core_scaling",
-        "cpus": os.cpu_count(),
-        "sizes": [],
-    }
+    sizes = []
     for label, dataset, scale in scales:
         trace = presets.load(dataset, scale=scale, seed=3)
         delta = presets.snapshot_delta(dataset, scale)
@@ -303,30 +309,14 @@ def run(scales, write_json: bool) -> dict:
             "candidate_enumeration": bench_candidates(trace),
             "metric_sweep": bench_metric_sweep(trace, delta),
         }
-        report["sizes"].append(entry)
+        sizes.append(entry)
         print(f"[{label}] nodes={entry['nodes']} edges={entry['edges']}")
         for section in ("snapshot_sequence", "candidate_enumeration", "metric_sweep"):
             print(f"  {section}: {entry[section]}")
 
+    report = build_report("core_scaling", sizes)
     if write_json:
-        path = REPO_ROOT / "BENCH_core.json"
-        path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
-        results_dir = Path(__file__).parent / "results"
-        results_dir.mkdir(exist_ok=True)
-        lines = [
-            f"{e['label']:>6} (n={e['nodes']}, E={e['edges']}): "
-            f"seq {e['snapshot_sequence']['speedup']}x, "
-            f"two-hop peak mem "
-            f"{e['candidate_enumeration']['two_hop']['peak_reduction']}x smaller, "
-            f"all-pairs peak mem "
-            f"{e['candidate_enumeration']['all']['peak_reduction']}x smaller, "
-            f"sweep {e['metric_sweep']['speedup']}x"
-            for e in report["sizes"]
-        ]
-        (results_dir / "core_scaling.txt").write_text(
-            "\n".join(lines) + "\n", encoding="utf-8"
-        )
-        print(f"wrote {path}")
+        write_report(report, line_formatter=_summary_line, json_stem="core")
     return report
 
 

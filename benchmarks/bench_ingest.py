@@ -25,8 +25,6 @@ from __future__ import annotations
 
 import argparse
 import gc
-import json
-import os
 import sys
 import time
 import tracemalloc
@@ -36,11 +34,11 @@ from tempfile import TemporaryDirectory
 import numpy as np
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+sys.path.insert(0, str(Path(__file__).resolve().parent))
 
+from _common import build_report, write_report
 from repro.graph.dyngraph import TemporalGraph
 from repro.ingest import load_trace
-
-REPO_ROOT = Path(__file__).resolve().parent.parent
 
 #: (label, number of events).
 SIZES = (("medium", 150_000), ("large", 500_000))
@@ -161,12 +159,20 @@ def bench_size(label: str, n_events: int, workdir: Path) -> dict:
     }
 
 
+def _summary_line(e: dict) -> str:
+    return (
+        f"{e['label']:>6} (E={e['events']}): load {e['speedup']}x faster, "
+        f"peak mem {e['peak_reduction']}x smaller "
+        f"({e['legacy_peak_bytes']} -> {e['ingest_peak_bytes']} bytes)"
+    )
+
+
 def run(sizes, write_json: bool) -> dict:
-    report = {"bench": "ingest", "cpus": os.cpu_count(), "sizes": []}
+    entries = []
     with TemporaryDirectory() as tmp:
         for label, n_events in sizes:
             entry = bench_size(label, n_events, Path(tmp))
-            report["sizes"].append(entry)
+            entries.append(entry)
             print(
                 f"[{label}] E={entry['events']}: "
                 f"legacy {entry['legacy_s']}s / {entry['legacy_peak_bytes']} B peak, "
@@ -174,21 +180,9 @@ def run(sizes, write_json: bool) -> dict:
                 f"({entry['speedup']}x faster, {entry['peak_reduction']}x less memory)"
             )
 
+    report = build_report("ingest", entries)
     if write_json:
-        path = REPO_ROOT / "BENCH_ingest.json"
-        path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
-        results_dir = Path(__file__).parent / "results"
-        results_dir.mkdir(exist_ok=True)
-        lines = [
-            f"{e['label']:>6} (E={e['events']}): load {e['speedup']}x faster, "
-            f"peak mem {e['peak_reduction']}x smaller "
-            f"({e['legacy_peak_bytes']} -> {e['ingest_peak_bytes']} bytes)"
-            for e in report["sizes"]
-        ]
-        (results_dir / "ingest.txt").write_text(
-            "\n".join(lines) + "\n", encoding="utf-8"
-        )
-        print(f"wrote {path}")
+        write_report(report, line_formatter=_summary_line)
     return report
 
 

@@ -7,8 +7,17 @@ evaluate   run one predictor over a trace's snapshot sequence
 compare    rank several metrics on one trace
 suggest    print top-k link recommendations for the latest snapshot
 report     markdown predictability report for a trace
-experiment run a JSON ``ExperimentSpec`` (``--jobs N`` parallelises it)
+experiment run a JSON ``ExperimentSpec`` (alias: ``run``; ``--jobs N``
+           parallelises it, ``--telemetry PATH`` records a trace)
 audit      diagnose a trace file: ingest taxonomy + graph-integrity audit
+trace      inspect a recorded telemetry trace (``summary`` / ``show``)
+
+Exit codes
+----------
+0    success (for ``audit``: the trace is clean)
+1    ``audit`` found flagged events or integrity violations
+2    usage, spec, or I/O error (bad arguments, unreadable files)
+130  interrupted (Ctrl-C); journaled runs resume with the same --journal
 
 Examples
 --------
@@ -16,21 +25,32 @@ Examples
     python -m repro evaluate --trace fb.txt --metric RA --delta 260
     python -m repro compare --dataset youtube --metrics Rescal,BRA,PA,JC
     python -m repro suggest --dataset facebook --metric RA -k 10
-    python -m repro experiment --spec spec.json --jobs 8 --out result.json
+    python -m repro run --spec spec.json --jobs 8 --telemetry run.trace.jsonl
+    python -m repro trace summary run.trace.jsonl
     python -m repro audit --trace crawl.txt.gz
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 import numpy as np
 
+from repro import __version__
 from repro.core.api import LinkPredictor, available_metrics
 from repro.generators import presets
 from repro.graph.io import read_trace, write_trace
 from repro.graph.snapshots import snapshot_sequence
+
+_EXIT_CODES_EPILOG = """\
+exit codes:
+  0    success (audit: trace is clean)
+  1    audit found flagged events or integrity violations
+  2    usage, spec, or I/O error
+  130  interrupted (Ctrl-C)
+"""
 
 
 def _load_trace(args):
@@ -164,7 +184,30 @@ def cmd_report(args) -> int:
     return 0
 
 
+def _write_timing_json(path: str, spec, timing) -> None:
+    """Serialise RunTiming + the ``[faults]`` footer as machine-readable JSON.
+
+    ``payload["timing"]`` round-trips through
+    :meth:`~repro.eval.runner.RunTiming.from_payload`; ``payload["faults"]``
+    restates the footer's aggregates so dashboards need no re-derivation.
+    """
+    payload = {
+        "name": spec.name,
+        "timing": timing.to_payload(),
+        "faults": {
+            "failure_kinds": timing.failure_kinds(),
+            "retries": timing.retries,
+            "pool_rebuilds": timing.pool_rebuilds,
+            "degraded_to_serial": timing.degraded_to_serial,
+            "journal_cells": timing.journal_cells,
+        },
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(json.dumps(payload, indent=2) + "\n")
+
+
 def cmd_experiment(args) -> int:
+    from repro import telemetry
     from repro.eval.retry import RetryPolicy
     from repro.eval.runner import ExperimentSpec, run_experiment
 
@@ -172,31 +215,66 @@ def cmd_experiment(args) -> int:
     policy = RetryPolicy(
         max_attempts=args.max_attempts, timeout_seconds=args.cell_timeout
     )
-    try:
-        result = run_experiment(
-            spec, n_jobs=args.jobs, journal=args.journal, retry=policy
+    if args.telemetry_prom and not args.telemetry:
+        print("error: --telemetry-prom requires --telemetry", file=sys.stderr)
+        return 2
+    if args.telemetry:
+        telemetry.configure(
+            args.telemetry, prom_path=args.telemetry_prom, name=spec.name
         )
-    except KeyboardInterrupt:
-        # the journal is flushed per cell, so everything finished so far
-        # is already durable; tell the user how to pick the run back up.
-        if args.journal:
-            print(
-                f"\ninterrupted — completed cells are journaled; resume with "
-                f"--journal {args.journal}",
-                file=sys.stderr,
+    try:
+        try:
+            result = run_experiment(
+                spec, n_jobs=args.jobs, journal=args.journal, retry=policy
             )
-        else:
-            print(
-                "\ninterrupted — re-run with --journal PATH to make runs "
-                "resumable",
-                file=sys.stderr,
-            )
-        return 130
+        except KeyboardInterrupt:
+            # the journal is flushed per cell, so everything finished so far
+            # is already durable; tell the user how to pick the run back up.
+            if args.journal:
+                print(
+                    f"\ninterrupted — completed cells are journaled; resume with "
+                    f"--journal {args.journal}",
+                    file=sys.stderr,
+                )
+            else:
+                print(
+                    "\ninterrupted — re-run with --journal PATH to make runs "
+                    "resumable",
+                    file=sys.stderr,
+                )
+            return 130
+    finally:
+        if args.telemetry:
+            # flushes buffered spans and appends the final metric records,
+            # including on the interrupt path — partial traces stay readable.
+            telemetry.shutdown()
     print(f"experiment: {spec.name} ({result.steps_evaluated} steps)")
     print(result.summary_table())
     if args.out:
         result.save(args.out, include_timing=args.include_timing)
         print(f"full results written to {args.out}")
+    if args.timing_json:
+        _write_timing_json(args.timing_json, spec, result.timing)
+        print(f"timing written to {args.timing_json}")
+    if args.telemetry:
+        print(f"telemetry trace written to {args.telemetry}")
+    return 0
+
+
+def cmd_trace(args) -> int:
+    from repro.telemetry import read_trace as read_telemetry_trace
+    from repro.telemetry import render_tree, summarize
+
+    # TraceFileError is a ValueError: main() maps unreadable files to exit 2.
+    trace = read_telemetry_trace(args.trace_file)
+    if args.trace_command == "summary":
+        print(summarize(trace))
+    else:
+        print(
+            render_tree(
+                trace, max_depth=args.max_depth, min_seconds=args.min_seconds
+            )
+        )
     return 0
 
 
@@ -214,6 +292,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Link prediction experiments (IMC 2016 reproduction).",
+        epilog=_EXIT_CODES_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -230,7 +313,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_generate)
 
     p = sub.add_parser(
-        "audit", help="diagnose a trace file (ingest taxonomy + invariants)"
+        "audit",
+        help="diagnose a trace file (ingest taxonomy + invariants)",
+        epilog=_EXIT_CODES_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     p.add_argument("--trace", required=True, help="path to a 'u v t' trace file")
     p.add_argument(
@@ -271,7 +357,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", help="write the report to a file instead of stdout")
     p.set_defaults(func=cmd_report)
 
-    p = sub.add_parser("experiment", help="run a JSON experiment spec")
+    p = sub.add_parser(
+        "experiment",
+        aliases=["run"],
+        help="run a JSON experiment spec (alias: run)",
+        epilog=_EXIT_CODES_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
     p.add_argument("--spec", required=True, help="path to an ExperimentSpec JSON file")
     p.add_argument("--out", help="write the full result JSON here")
     p.add_argument(
@@ -305,7 +397,47 @@ def build_parser() -> argparse.ArgumentParser:
         help="attempts per cell before the run fails (default 3; failed "
         "attempts back off exponentially with deterministic jitter)",
     )
+    p.add_argument(
+        "--telemetry",
+        metavar="PATH",
+        help="record a span trace of the run (JSONL) to PATH; inspect it "
+        "with 'repro trace summary PATH' / 'repro trace show PATH'",
+    )
+    p.add_argument(
+        "--telemetry-prom",
+        metavar="PATH",
+        help="also export the run's counters/histograms in Prometheus "
+        "textfile format (requires --telemetry)",
+    )
+    p.add_argument(
+        "--timing-json",
+        metavar="PATH",
+        help="write the run's timing + faults footer as machine-readable "
+        "JSON (execution metadata only — never part of --out results)",
+    )
     p.set_defaults(func=cmd_experiment)
+
+    p = sub.add_parser(
+        "trace", help="inspect a recorded telemetry trace file"
+    )
+    trace_sub = p.add_subparsers(dest="trace_command", required=True)
+    ps = trace_sub.add_parser(
+        "summary", help="per-phase wall time and counter tables"
+    )
+    ps.add_argument("trace_file", help="trace file written by --telemetry")
+    ps.set_defaults(func=cmd_trace)
+    ps = trace_sub.add_parser("show", help="the full span tree")
+    ps.add_argument("trace_file", help="trace file written by --telemetry")
+    ps.add_argument(
+        "--max-depth", type=int, default=None, help="limit tree depth"
+    )
+    ps.add_argument(
+        "--min-seconds",
+        type=float,
+        default=0.0,
+        help="hide spans shorter than this many seconds",
+    )
+    ps.set_defaults(func=cmd_trace)
     return parser
 
 

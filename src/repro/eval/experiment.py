@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import telemetry
 from repro.eval.accuracy import StepOutcome, score_prediction
 from repro.eval.ranking import top_k_pairs
 from repro.graph.snapshots import Snapshot, new_edges_between
@@ -78,6 +79,28 @@ def evaluate_step(
     parallel work-cell dispatcher (:mod:`repro.eval.parallel`) depends on
     this to evaluate steps in any order, in any process, bit-identically.
     """
+    if telemetry.tracer.enabled:
+        name = metric if isinstance(metric, str) else metric.name
+        with telemetry.tracer.span("eval.step", metric=name, step=step) as span:
+            result = _evaluate_step_impl(
+                metric, previous, truth, rng, pair_filter, candidates, step
+            )
+            span.set(k=len(truth), random_fill=result.random_fill)
+            return result
+    return _evaluate_step_impl(
+        metric, previous, truth, rng, pair_filter, candidates, step
+    )
+
+
+def _evaluate_step_impl(
+    metric: "SimilarityMetric | str",
+    previous: Snapshot,
+    truth: "set[Pair]",
+    rng: "int | np.random.Generator | None",
+    pair_filter: "PairFilter | None",
+    candidates: "np.ndarray | None",
+    step: int,
+) -> MetricStepResult:
     if isinstance(metric, str):
         metric = get_metric(metric)
     generator = ensure_rng(rng)

@@ -150,7 +150,11 @@ class CellJournal:
         key = (result.metric, result.step, result.seed)
         if key in self.completed:
             return
-        self._append({"kind": "cell", **asdict(result)})
+        payload = {"kind": "cell", **asdict(result)}
+        # Telemetry is execution metadata and the driver already merged
+        # it; journal lines carry only the replayable cell outcome.
+        payload.pop("telemetry", None)
+        self._append(payload)
         self.completed[key] = result
 
     def close(self) -> None:

@@ -44,12 +44,14 @@ JSON byte-identical to a clean serial run — enforced by
 from __future__ import annotations
 
 import contextlib
+import dataclasses
 import heapq
 import time
 from collections import deque
 from collections.abc import Sequence
 from concurrent.futures import FIRST_COMPLETED, BrokenExecutor, ProcessPoolExecutor, wait
 
+from repro import telemetry
 from repro.eval import faults
 from repro.eval.retry import (
     CellExecutionError,
@@ -57,6 +59,7 @@ from repro.eval.retry import (
     CellTimeoutError,
     ExecutionReport,
     RetryPolicy,
+    failure_span_attrs,
     soft_deadline,
 )
 from repro.eval.runner import (
@@ -87,9 +90,20 @@ def prewarm_plan(plan: ExperimentPlan) -> None:
         prewarm_candidate_caches(prev, strategies)
 
 
-def _init_worker(spec_json: str) -> None:
-    """Worker initializer: rebuild the plan from the spec and warm caches."""
+def _init_worker(spec_json: str, telemetry_enabled: bool = False) -> None:
+    """Worker initializer: rebuild the plan from the spec and warm caches.
+
+    When the driver is recording, the worker swaps in buffer-only
+    telemetry *before* the plan rebuild, so the per-worker plan/prewarm
+    cost is captured too (it ships with the worker's first cell result).
+    Otherwise the worker resets to the null instances — a forked child
+    must never inherit the driver's recording tracer.
+    """
     global _WORKER_PLAN
+    if telemetry_enabled:
+        telemetry.install_worker_mode()
+    else:
+        telemetry.reset()
     spec = ExperimentSpec.from_json(spec_json)
     plan = build_plan(spec)
     prewarm_plan(plan)
@@ -108,7 +122,14 @@ def _run_cell(payload: "tuple[Cell, int, float | None]") -> CellResult:
     cell, attempt, timeout_seconds = payload
     with soft_deadline(timeout_seconds):
         faults.before_cell(cell, attempt)
-        return execute_cell(_WORKER_PLAN, cell)
+        result = execute_cell(_WORKER_PLAN, cell)
+    shipped = telemetry.drain_worker_payload()
+    if shipped is not None:
+        # Buffered spans (including any failed earlier attempts still in
+        # the buffer — their spans are self-describing) ride home on the
+        # result; the driver merges them and strips the field.
+        result = dataclasses.replace(result, telemetry=shipped)
+    return result
 
 
 class _PoolRebuild(Exception):
@@ -176,11 +197,49 @@ class _CellDriver:
         )
         heapq.heappush(retry_heap, (ready_at, cell))
 
-    def _complete(self, cell: Cell, result: CellResult) -> None:
+    def _complete(
+        self, cell: Cell, result: CellResult, started_at: "float | None" = None
+    ) -> None:
+        result = self._absorb_telemetry(cell, result, started_at)
         self.done[cell] = result
         self.report.results.append(result)
         if self.on_result is not None:
             self.on_result(result)
+
+    def _absorb_telemetry(
+        self, cell: Cell, result: CellResult, started_at: "float | None"
+    ) -> CellResult:
+        """Merge a worker's shipped spans/metrics into the driver trace.
+
+        The driver records a retroactive ``cell`` span covering the
+        submit→completion window (attributes: the cell key, its attempt
+        number, and any retry/crash history from the failure records),
+        then adopts the worker's spans under it, namespaced by the
+        worker-incarnation token.  The telemetry payload never survives
+        onto the stored result — journals and reducers see ``None``.
+        """
+        shipped = result.telemetry
+        if shipped is None:
+            return result
+        result = dataclasses.replace(result, telemetry=None)
+        tracer = telemetry.tracer
+        if not tracer.enabled:
+            return result
+        end = time.monotonic()
+        metric, step, seed = cell
+        attrs = {
+            "metric": metric, "step": step, "seed": seed,
+            "attempt": self.attempts[cell], "engine": "pool",
+            **failure_span_attrs(self._cell_failures(cell)),
+        }
+        span_id = tracer.record(
+            "cell", started_at if started_at is not None else end, end, attrs
+        )
+        tracer.merge(
+            shipped["spans"], parent_id=span_id, prefix=f"w{shipped['token']}:"
+        )
+        telemetry.metrics.merge(shipped["metrics"])
+        return result
 
     # -- main loop ------------------------------------------------------
     def run(self) -> ExecutionReport:
@@ -225,7 +284,7 @@ class _CellDriver:
         pool = ProcessPoolExecutor(
             max_workers=self.workers,
             initializer=_init_worker,
-            initargs=(self.spec.to_json(),),
+            initargs=(self.spec.to_json(), telemetry.tracer.enabled),
         )
         try:
             while queue or retry_heap or inflight:
@@ -249,8 +308,8 @@ class _CellDriver:
                     inflight, timeout=_TICK_SECONDS, return_when=FIRST_COMPLETED
                 )
                 for future in finished:
-                    cell, _started = inflight.pop(future)
-                    self._handle_future(future, cell, inflight, retry_heap)
+                    cell, started = inflight.pop(future)
+                    self._handle_future(future, cell, started, inflight, retry_heap)
                 if hard is not None:
                     self._enforce_hard_deadline(hard, inflight, retry_heap)
             pool.shutdown(wait=True)
@@ -280,7 +339,9 @@ class _CellDriver:
                 ) from exc
         raise _PoolRebuild from exc
 
-    def _handle_future(self, future, cell: Cell, inflight, retry_heap) -> None:
+    def _handle_future(
+        self, future, cell: Cell, started: float, inflight, retry_heap
+    ) -> None:
         try:
             result = future.result()
         except BrokenExecutor as exc:
@@ -293,7 +354,7 @@ class _CellDriver:
                 cell, "exception", f"{type(exc).__name__}: {exc}", retry_heap
             )
         else:
-            self._complete(cell, result)
+            self._complete(cell, result, started_at=started)
 
     def _enforce_hard_deadline(self, hard: float, inflight, retry_heap) -> None:
         """Reclaim workers stuck past the hard deadline via pool rebuild."""

@@ -121,6 +121,13 @@ class RetryPolicy:
             return None
         return 2.0 * self.timeout_seconds + self.hard_timeout_grace
 
+    def span_attrs(self) -> dict:
+        """The policy fields worth recording on an execution-phase span."""
+        attrs: dict = {"max_attempts": self.max_attempts}
+        if self.timeout_seconds is not None:
+            attrs["timeout_seconds"] = self.timeout_seconds
+        return attrs
+
 
 @dataclass(frozen=True)
 class CellFailure:
@@ -147,6 +154,24 @@ class CellFailure:
     def from_payload(cls, payload: dict) -> "CellFailure":
         known = {f for f in cls.__dataclass_fields__}
         return cls(**{k: v for k, v in payload.items() if k in known})
+
+
+def failure_span_attrs(failures: "list[CellFailure]") -> dict:
+    """Span attributes summarising a cell's failed attempts.
+
+    The per-cell trace span carries its retry history this way:
+    ``failed_attempts=2 failure_kinds=crash:1,timeout:1`` reads directly
+    off ``repro trace show`` without cross-referencing RunTiming.
+    """
+    if not failures:
+        return {}
+    kinds: dict[str, int] = {}
+    for failure in failures:
+        kinds[failure.kind] = kinds.get(failure.kind, 0) + 1
+    return {
+        "failed_attempts": len(failures),
+        "failure_kinds": ",".join(f"{k}:{v}" for k, v in sorted(kinds.items())),
+    }
 
 
 class CellExecutionError(RuntimeError):

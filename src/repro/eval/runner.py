@@ -30,6 +30,7 @@ from dataclasses import asdict, dataclass, field
 
 import numpy as np
 
+from repro import telemetry
 from repro.eval import faults
 from repro.eval.experiment import PairFilter, evaluate_step, prediction_steps
 from repro.eval.retry import (
@@ -231,6 +232,11 @@ class CellResult:
     wall_seconds: float
     cache_hits: int
     cache_misses: int
+    #: worker-buffered telemetry (``{"token", "spans", "metrics"}``) riding
+    #: home on the result; the driver merges it into its trace and strips
+    #: it before the result is journaled or reduced.  Never part of the
+    #: scientific output.
+    telemetry: "dict | None" = None
 
 
 @dataclass
@@ -400,6 +406,19 @@ def execute_cell(plan: ExperimentPlan, cell: Cell) -> CellResult:
     pool both call it — so the RNG derivation and the filtered/unfiltered
     call order are the same on every path by construction.
     """
+    metric, step, seed = cell
+    if telemetry.tracer.enabled:
+        with telemetry.tracer.span(
+            "cell.execute", metric=metric, step=step, seed=seed
+        ):
+            result = _execute_cell_impl(plan, cell)
+        telemetry.metrics.counter("cells.completed").inc()
+        telemetry.metrics.histogram("cell.seconds").observe(result.wall_seconds)
+        return result
+    return _execute_cell_impl(plan, cell)
+
+
+def _execute_cell_impl(plan: ExperimentPlan, cell: Cell) -> CellResult:
     metric, step, seed = cell
     before = cache_stats()
     started = time.perf_counter()
@@ -577,53 +596,91 @@ def run_experiment(
     policy.validate()
     jobs = _resolve_jobs(spec, n_jobs)
     started = time.perf_counter()
-    plan = build_plan(spec)
-    cells = list(iter_cells(spec, len(plan.steps)))
+    with telemetry.tracer.span(
+        "run", name=spec.name, dataset=spec.dataset, n_jobs=jobs
+    ):
+        with telemetry.tracer.span("plan"):
+            plan = build_plan(spec)
+        cells = list(iter_cells(spec, len(plan.steps)))
 
-    owns_journal = False
-    if journal is not None and not hasattr(journal, "record"):
-        from repro.eval.journal import CellJournal
+        owns_journal = False
+        if journal is not None and not hasattr(journal, "record"):
+            from repro.eval.journal import CellJournal
 
-        journal = CellJournal(journal, spec)
-        owns_journal = True
-    try:
-        wanted = set(cells)
-        restored = (
-            {c: r for c, r in journal.completed.items() if c in wanted}
-            if journal is not None
-            else {}
-        )
-        missing = [c for c in cells if c not in restored]
-        on_result = journal.record if journal is not None else None
-        if jobs > 1 and len(missing) > 1:
-            from repro.eval.parallel import run_cells_parallel
-
-            report = run_cells_parallel(
-                spec, missing, jobs, policy=policy, on_result=on_result, plan=plan
+            journal = CellJournal(journal, spec)
+            owns_journal = True
+        try:
+            wanted = set(cells)
+            restored = (
+                {c: r for c, r in journal.completed.items() if c in wanted}
+                if journal is not None
+                else {}
             )
-        else:
-            jobs = 1
-            report = run_cells_serial(plan, missing, policy, on_result=on_result)
-    finally:
-        if owns_journal:
-            journal.close()
+            missing = [c for c in cells if c not in restored]
+            on_result = journal.record if journal is not None else None
+            use_pool = jobs > 1 and len(missing) > 1
+            if not use_pool:
+                jobs = 1
+            with telemetry.tracer.span(
+                "execute",
+                engine="pool" if use_pool else "serial",
+                cells=len(missing),
+                n_jobs=jobs,
+                **policy.span_attrs(),
+            ):
+                if use_pool:
+                    from repro.eval.parallel import run_cells_parallel
 
-    executed = report.results
-    result = reduce_cells(plan, list(restored.values()) + list(executed))
-    result.timing = RunTiming(
-        n_jobs=jobs,
-        wall_seconds=time.perf_counter() - started,
-        cells=len(executed),
-        cell_seconds=float(sum(c.wall_seconds for c in executed)),
-        max_cell_seconds=float(
-            max((c.wall_seconds for c in executed), default=0.0)
-        ),
-        cache_hits=sum(c.cache_hits for c in executed),
-        cache_misses=sum(c.cache_misses for c in executed),
-        journal_cells=len(restored),
-        retries=report.retries,
-        pool_rebuilds=report.pool_rebuilds,
-        degraded_to_serial=report.degraded_to_serial,
-        failures=[f.to_payload() for f in report.failures],
-    )
+                    report = run_cells_parallel(
+                        spec, missing, jobs,
+                        policy=policy, on_result=on_result, plan=plan,
+                    )
+                else:
+                    report = run_cells_serial(
+                        plan, missing, policy, on_result=on_result
+                    )
+        finally:
+            if owns_journal:
+                journal.close()
+
+        executed = report.results
+        with telemetry.tracer.span("reduce", cells=len(cells)):
+            result = reduce_cells(plan, list(restored.values()) + list(executed))
+        result.timing = RunTiming(
+            n_jobs=jobs,
+            wall_seconds=time.perf_counter() - started,
+            cells=len(executed),
+            cell_seconds=float(sum(c.wall_seconds for c in executed)),
+            max_cell_seconds=float(
+                max((c.wall_seconds for c in executed), default=0.0)
+            ),
+            cache_hits=sum(c.cache_hits for c in executed),
+            cache_misses=sum(c.cache_misses for c in executed),
+            journal_cells=len(restored),
+            retries=report.retries,
+            pool_rebuilds=report.pool_rebuilds,
+            degraded_to_serial=report.degraded_to_serial,
+            failures=[f.to_payload() for f in report.failures],
+        )
+        _record_run_metrics(result.timing)
     return result
+
+
+def _record_run_metrics(timing: RunTiming) -> None:
+    """Mirror the run's :class:`RunTiming` into telemetry counters.
+
+    Recorded once per run from the same numbers the ``[timing]`` /
+    ``[faults]`` footer prints, so ``repro trace summary`` and the
+    run output can never disagree.
+    """
+    registry = telemetry.metrics
+    if not registry.enabled:
+        return
+    registry.counter("cells.executed").inc(timing.cells)
+    registry.counter("cells.journal_restored").inc(timing.journal_cells)
+    registry.counter("cells.retries").inc(timing.retries)
+    registry.counter("pool.rebuilds").inc(timing.pool_rebuilds)
+    if timing.degraded_to_serial:
+        registry.counter("pool.degraded_to_serial").inc()
+    for kind, count in timing.failure_kinds().items():
+        registry.counter("cells.failed_attempts", kind=kind).inc(count)

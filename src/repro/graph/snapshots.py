@@ -28,6 +28,7 @@ from collections.abc import Iterable, Iterator
 import numpy as np
 import scipy.sparse as sp
 
+from repro import telemetry
 from repro.graph.dyngraph import TemporalGraph
 from repro.utils.pairs import Pair, canonical_pair
 
@@ -137,18 +138,31 @@ class Snapshot:
     def _structure(self) -> tuple[np.ndarray, np.ndarray]:
         """CSR adjacency structure ``(indptr, indices)`` over positions."""
         if self._indptr is None:
-            n = len(self.node_ids)
-            iu, iv = self.edge_indices()
-            rows = np.concatenate((iu, iv))
-            cols = np.concatenate((iv, iu))
-            counts = np.bincount(rows, minlength=n)
-            order = np.lexsort((cols, rows))
-            self._indices = cols[order]
-            self._indptr = np.concatenate(
-                (np.zeros(1, dtype=np.int64), np.cumsum(counts, dtype=np.int64))
-            )
-            self._deg = counts.astype(np.int64)
+            if telemetry.tracer.enabled:
+                with telemetry.tracer.span(
+                    "snapshot.csr_build",
+                    snapshot=self.index,
+                    nodes=self.num_nodes,
+                    edges=self.num_edges,
+                ):
+                    self._build_structure()
+                telemetry.metrics.counter("snapshot.csr_builds").inc()
+            else:
+                self._build_structure()
         return self._indptr, self._indices
+
+    def _build_structure(self) -> None:
+        n = len(self.node_ids)
+        iu, iv = self.edge_indices()
+        rows = np.concatenate((iu, iv))
+        cols = np.concatenate((iv, iu))
+        counts = np.bincount(rows, minlength=n)
+        order = np.lexsort((cols, rows))
+        self._indices = cols[order]
+        self._indptr = np.concatenate(
+            (np.zeros(1, dtype=np.int64), np.cumsum(counts, dtype=np.int64))
+        )
+        self._deg = counts.astype(np.int64)
 
     def csr_structure(self) -> tuple[np.ndarray, np.ndarray]:
         """Public view of the CSR adjacency ``(indptr, indices)``.
@@ -396,12 +410,16 @@ def snapshot_sequence(
         start = delta
     if start <= 0:
         raise ValueError(f"start must be positive, got {start}")
-    if trace.num_edges:
-        trace.stream_index()  # warm the shared remap table once
-    cutoffs = range(start, trace.num_edges + 1, delta)
-    snaps = [Snapshot(trace, c, index=i) for i, c in enumerate(cutoffs)]
-    if max_snapshots is not None:
-        snaps = snaps[:max_snapshots]
+    with telemetry.tracer.span(
+        "snapshot.sequence", delta=delta, edges=trace.num_edges
+    ) as span:
+        if trace.num_edges:
+            trace.stream_index()  # warm the shared remap table once
+        cutoffs = range(start, trace.num_edges + 1, delta)
+        snaps = [Snapshot(trace, c, index=i) for i, c in enumerate(cutoffs)]
+        if max_snapshots is not None:
+            snaps = snaps[:max_snapshots]
+        span.set(snapshots=len(snaps))
     return snaps
 
 

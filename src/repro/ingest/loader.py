@@ -35,6 +35,7 @@ from collections.abc import Iterator
 
 import numpy as np
 
+from repro import telemetry
 from repro.graph.dyngraph import TemporalGraph
 from repro.ingest.errors import RejectRecord, TraceFormatError
 from repro.ingest.policy import IngestPolicy
@@ -537,18 +538,48 @@ def scan_trace(
         path=str(path), policy=policy.describe(), gzip=is_gzip(path)
     )
     ingest = _Ingest(path, policy, report)
-    ln, u, v, t = _read_columns(path, ingest)
-    us, vs, ts = _validate_columns(ln, u, v, t, ingest)
-    if ingest.quarantined:
-        sidecar = quarantine_path or f"{path}.rejects"
-        _write_rejects(sidecar, path, ingest.quarantined)
-        report.quarantine_path = str(sidecar)
-    report.events_accepted = len(ts)
-    if len(ts):
-        report.min_time = float(ts[0])
-        report.max_time = float(ts[-1])
-    report.checksum = stream_checksum(us, vs, ts)
+    with telemetry.tracer.span("ingest.scan", path=str(path)) as scan_span:
+        with telemetry.tracer.span("ingest.read_columns"):
+            ln, u, v, t = _read_columns(path, ingest)
+        with telemetry.tracer.span("ingest.validate", events=len(ln)):
+            us, vs, ts = _validate_columns(ln, u, v, t, ingest)
+        if ingest.quarantined:
+            sidecar = quarantine_path or f"{path}.rejects"
+            _write_rejects(sidecar, path, ingest.quarantined)
+            report.quarantine_path = str(sidecar)
+        report.events_accepted = len(ts)
+        if len(ts):
+            report.min_time = float(ts[0])
+            report.max_time = float(ts[-1])
+        report.checksum = stream_checksum(us, vs, ts)
+        scan_span.set(
+            events_parsed=report.events_parsed,
+            events_accepted=report.events_accepted,
+        )
+        _record_ingest_metrics(report)
     return us, vs, ts, report
+
+
+def _record_ingest_metrics(report: IngestReport) -> None:
+    """Mirror the finished :class:`IngestReport` into telemetry counters.
+
+    The counters in a recorded trace therefore match the run's ingest
+    report exactly — ``repro trace summary`` can be cross-checked against
+    ``repro audit`` output for the same file and policy.
+    """
+    registry = telemetry.metrics
+    if not registry.enabled:
+        return
+    registry.counter("ingest.lines_total").inc(report.lines_total)
+    registry.counter("ingest.events_parsed").inc(report.events_parsed)
+    registry.counter("ingest.events_accepted").inc(report.events_accepted)
+    for bucket, name in (
+        (report.flagged, "ingest.flagged_total"),
+        (report.repaired, "ingest.repaired_total"),
+        (report.quarantined, "ingest.quarantined_total"),
+    ):
+        for error_class, count in bucket.items():
+            registry.counter(name, **{"class": error_class}).inc(count)
 
 
 def load_trace(

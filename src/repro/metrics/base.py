@@ -24,6 +24,7 @@ from collections.abc import Callable
 import numpy as np
 import scipy.sparse as sp
 
+from repro import telemetry
 from repro.graph.snapshots import Snapshot
 
 
@@ -58,9 +59,18 @@ def cached(snapshot: Snapshot, key: str, compute: Callable[[], object]):
     """
     if key not in snapshot.cache:
         _CACHE_COUNTS["misses"] += 1
-        snapshot.cache[key] = compute()
+        if telemetry.tracer.enabled:
+            with telemetry.tracer.span(
+                "metrics.cache_compute", key=key, snapshot=snapshot.index
+            ):
+                snapshot.cache[key] = compute()
+            telemetry.metrics.counter("metrics.cache_misses", key=key).inc()
+        else:
+            snapshot.cache[key] = compute()
     else:
         _CACHE_COUNTS["hits"] += 1
+        if telemetry.metrics.enabled:
+            telemetry.metrics.counter("metrics.cache_hits", key=key).inc()
     return snapshot.cache[key]
 
 

@@ -16,8 +16,10 @@ from __future__ import annotations
 import numpy as np
 import scipy.sparse as sp
 
+from repro import telemetry
 from repro.graph.snapshots import Snapshot
 from repro.metrics.base import adjacency, cached, two_hop_matrix
+from repro.telemetry.metrics import SIZE_BUCKETS
 from repro.utils.rng import ensure_rng
 
 
@@ -98,10 +100,18 @@ def prewarm_candidate_caches(
 def candidate_pairs(snapshot: Snapshot, strategy: str) -> np.ndarray:
     """Dispatch on a metric's ``candidate_strategy``."""
     if strategy == "two_hop":
-        return two_hop_pairs(snapshot)
-    if strategy == "all":
-        return all_nonedge_pairs(snapshot)
-    raise ValueError(f"unknown candidate strategy {strategy!r}")
+        pairs = two_hop_pairs(snapshot)
+    elif strategy == "all":
+        pairs = all_nonedge_pairs(snapshot)
+    else:
+        raise ValueError(f"unknown candidate strategy {strategy!r}")
+    if telemetry.metrics.enabled:
+        # Candidate-set size distributions are the §4.2 quantity the paper
+        # uses to explain accuracy; record them per enumeration strategy.
+        telemetry.metrics.histogram(
+            "candidates.pairs", bounds=SIZE_BUCKETS, strategy=strategy
+        ).observe(len(pairs))
+    return pairs
 
 
 def num_nonedge_pairs(snapshot: Snapshot) -> int:

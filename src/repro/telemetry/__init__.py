@@ -1,0 +1,166 @@
+"""repro.telemetry — tracing, metrics, and profiling for the pipeline.
+
+The module itself is the switchboard.  ``telemetry.tracer`` and
+``telemetry.metrics`` are module-level globals that default to the null
+implementations, so every instrumented call site in ingest, the graph
+core, the metric kernels, and the runner pays one attribute lookup when
+telemetry is off.  :func:`configure` swaps in a recording
+:class:`~repro.telemetry.collect.TelemetrySession` for the duration of a
+run; :func:`install_worker_mode` swaps in buffer-only instances inside a
+forked worker so spans and metric deltas ride home on cell results
+instead of racing the driver for the trace file.
+
+Typical driver lifecycle (what ``repro run --telemetry`` does)::
+
+    from repro import telemetry
+
+    telemetry.configure("run.trace.jsonl", prom_path="run.prom")
+    try:
+        ...  # instrumented work
+    finally:
+        telemetry.shutdown()
+
+Typical call-site shape (guard first — disabled must stay free)::
+
+    from repro import telemetry
+
+    def hot_function(...):
+        if telemetry.tracer.enabled:
+            with telemetry.tracer.span("phase.name", size=n):
+                return _hot_function_impl(...)
+        return _hot_function_impl(...)
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.telemetry.collect import (
+    JsonlTraceSink,
+    PrometheusTextfileSink,
+    TelemetrySession,
+    prometheus_text,
+)
+from repro.telemetry.metrics import (
+    NULL_REGISTRY,
+    SECONDS_BUCKETS,
+    SIZE_BUCKETS,
+    MetricsRegistry,
+    NullRegistry,
+)
+from repro.telemetry.summary import (
+    TraceFile,
+    TraceFileError,
+    read_trace,
+    render_tree,
+    summarize,
+)
+from repro.telemetry.tracer import NULL_TRACER, NullTracer, Span, Tracer
+
+__all__ = [
+    "tracer",
+    "metrics",
+    "configure",
+    "shutdown",
+    "reset",
+    "install_worker_mode",
+    "drain_worker_payload",
+    "worker_token",
+    "Tracer",
+    "NullTracer",
+    "Span",
+    "MetricsRegistry",
+    "NullRegistry",
+    "TelemetrySession",
+    "JsonlTraceSink",
+    "PrometheusTextfileSink",
+    "prometheus_text",
+    "TraceFile",
+    "TraceFileError",
+    "read_trace",
+    "render_tree",
+    "summarize",
+    "SECONDS_BUCKETS",
+    "SIZE_BUCKETS",
+]
+
+#: the active tracer — NULL_TRACER unless :func:`configure` or
+#: :func:`install_worker_mode` swapped in a recording one.
+tracer = NULL_TRACER
+
+#: the active metrics registry, same lifecycle as :data:`tracer`.
+metrics = NULL_REGISTRY
+
+_session: "TelemetrySession | None" = None
+_worker_token: "str | None" = None
+
+
+def configure(
+    trace_path: "str | os.PathLike[str]",
+    prom_path: "str | os.PathLike[str] | None" = None,
+    name: str = "run",
+) -> TelemetrySession:
+    """Start recording: open the trace file and swap in live instances.
+
+    Raises :class:`RuntimeError` if telemetry is already configured in
+    this process — two sessions writing one global tracer would
+    interleave unrelated span trees.
+    """
+    global tracer, metrics, _session
+    if _session is not None or _worker_token is not None:
+        raise RuntimeError("telemetry is already configured in this process")
+    _session = TelemetrySession(trace_path, prom_path=prom_path, name=name)
+    tracer = _session.tracer
+    metrics = _session.registry
+    return _session
+
+
+def shutdown() -> None:
+    """Flush + close the active session (if any) and restore the null pair."""
+    global tracer, metrics, _session, _worker_token
+    if _session is not None:
+        _session.close()
+    tracer = NULL_TRACER
+    metrics = NULL_REGISTRY
+    _session = None
+    _worker_token = None
+
+
+#: alias used by worker initialisers when telemetry is off: make sure a
+#: forked child never keeps the parent's recording instances.
+reset = shutdown
+
+
+def install_worker_mode() -> str:
+    """Swap in buffer-only instances inside a forked worker process.
+
+    The returned token is unique per worker *incarnation* — pid alone is
+    not enough because pool rebuilds can reuse pids — and prefixes every
+    shipped span id when the driver adopts them.
+    """
+    global tracer, metrics, _session, _worker_token
+    _session = None  # inherited driver session must never flush from here
+    _worker_token = f"{os.getpid():x}.{time.monotonic_ns() & 0xFFFFFF:06x}"
+    tracer = Tracer()
+    metrics = MetricsRegistry()
+    return _worker_token
+
+
+def worker_token() -> "str | None":
+    return _worker_token
+
+
+def drain_worker_payload() -> "dict | None":
+    """Ship buffered spans + metric deltas out of a worker.
+
+    Returns ``{"token", "spans", "metrics"}`` or ``None`` when there is
+    nothing to ship (including the driver-off / not-a-worker case).
+    """
+    if _worker_token is None:
+        return None
+    spans = tracer.drain()
+    deltas = metrics.drain()
+    if not spans and not deltas:
+        return None
+    return {"token": _worker_token, "spans": spans, "metrics": deltas}

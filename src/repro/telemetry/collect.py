@@ -1,0 +1,185 @@
+"""Buffered collection and export: JSONL trace sink + Prometheus textfile.
+
+One :class:`TelemetrySession` owns the recording side of a run: a
+:class:`~repro.telemetry.tracer.Tracer` flushing into an append-only JSONL
+trace file, a :class:`~repro.telemetry.metrics.MetricsRegistry` dumped into
+the same file (and optionally a Prometheus textfile) at close.  The file
+layout is line-delimited JSON, self-describing and crash-tolerant — a
+truncated final line loses at most one span:
+
+- line 1: ``{"kind": "header", "version": 1, "name": ..., "started_unix": ...}``
+- spans:  ``{"kind": "span", "id", "parent", "name", "start", "end", "attrs"}``
+  with ``start``/``end`` in seconds relative to the header's origin;
+- metrics (at close): ``{"kind": "counter"|"gauge"|"histogram", ...}``.
+
+The Prometheus exporter writes the node-exporter *textfile collector*
+format: point a scrape at the emitted ``.prom`` file (or serve it) and the
+run's counters and histograms land in a normal Prometheus setup with the
+``repro_`` prefix.  Only the session-owning process ever writes either
+file; forked workers inherit a session only to have it neutralised by
+:func:`repro.telemetry.install_worker_mode`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import time
+
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.tracer import Tracer
+
+TRACE_FILE_VERSION = 1
+
+_PROM_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+_PROM_LABEL_RE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+class JsonlTraceSink:
+    """Append-only JSONL writer for one trace file.
+
+    Each batch is written and flushed immediately, so a forked child never
+    inherits buffered, unwritten lines it could duplicate.
+    """
+
+    def __init__(self, path: "str | os.PathLike[str]", name: str, t0: float) -> None:
+        self.path = os.fspath(path)
+        self._t0 = t0
+        self._fh = open(self.path, "w", encoding="utf-8")
+        self._write_line(
+            {
+                "kind": "header",
+                "version": TRACE_FILE_VERSION,
+                "name": name,
+                "started_unix": time.time(),
+                "pid": os.getpid(),
+            }
+        )
+
+    def _write_line(self, payload: dict) -> None:
+        self._fh.write(json.dumps(payload, separators=(",", ":"), default=str) + "\n")
+        self._fh.flush()
+
+    def write_spans(self, payloads: "list[dict]") -> None:
+        for p in payloads:
+            self._write_line(
+                {
+                    "kind": "span",
+                    "id": p["id"],
+                    "parent": p["parent"],
+                    "name": p["name"],
+                    "start": round(p["start"] - self._t0, 6),
+                    "end": round(p["end"] - self._t0, 6),
+                    "attrs": p["attrs"],
+                }
+            )
+
+    def write_metrics(self, payloads: "list[dict]") -> None:
+        for p in payloads:
+            self._write_line(p)
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+
+def _prom_name(name: str) -> str:
+    return "repro_" + _PROM_NAME_RE.sub("_", name)
+
+def _prom_labels(labels: dict, extra: "tuple[tuple[str, str], ...]" = ()) -> str:
+    items = [
+        (_PROM_LABEL_RE.sub("_", k), str(v)) for k, v in sorted(labels.items())
+    ] + list(extra)
+    if not items:
+        return ""
+    body = ",".join(f'{k}="{v}"' for k, v in items)
+    return "{" + body + "}"
+
+
+def _format_value(value: "int | float") -> str:
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def prometheus_text(payloads: "list[dict]") -> str:
+    """Render registry payloads in the Prometheus exposition format."""
+    lines: list[str] = []
+    typed: set[str] = set()
+    for p in payloads:
+        name = _prom_name(p["name"])
+        kind, labels = p["kind"], p.get("labels", {})
+        if name not in typed:
+            lines.append(f"# TYPE {name} {kind}")
+            typed.add(name)
+        if kind in ("counter", "gauge"):
+            lines.append(f"{name}{_prom_labels(labels)} {_format_value(p['value'])}")
+        elif kind == "histogram":
+            cumulative = 0
+            for bound, count in zip(p["bounds"], p["counts"]):
+                cumulative += count
+                lines.append(
+                    f"{name}_bucket{_prom_labels(labels, (('le', repr(float(bound))),))} "
+                    f"{cumulative}"
+                )
+            lines.append(
+                f"{name}_bucket{_prom_labels(labels, (('le', '+Inf'),))} {p['count']}"
+            )
+            lines.append(f"{name}_sum{_prom_labels(labels)} {_format_value(p['sum'])}")
+            lines.append(f"{name}_count{_prom_labels(labels)} {p['count']}")
+        else:
+            raise ValueError(f"unknown metric payload kind {kind!r}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+class PrometheusTextfileSink:
+    """Atomic writer for the textfile-collector export."""
+
+    def __init__(self, path: "str | os.PathLike[str]") -> None:
+        self.path = os.fspath(path)
+
+    def write(self, payloads: "list[dict]") -> None:
+        tmp = self.path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            fh.write(prometheus_text(payloads))
+        os.replace(tmp, self.path)
+
+
+class TelemetrySession:
+    """The recording side of one run: tracer + registry + sinks.
+
+    Created by :func:`repro.telemetry.configure`; :meth:`close` flushes
+    remaining spans, appends the final metric records to the trace file,
+    and (if configured) writes the Prometheus textfile.  Closing is
+    pid-guarded and idempotent.
+    """
+
+    def __init__(
+        self,
+        trace_path: "str | os.PathLike[str]",
+        prom_path: "str | os.PathLike[str] | None" = None,
+        name: str = "run",
+    ) -> None:
+        self.tracer = Tracer(on_flush=self._on_flush)
+        self.registry = MetricsRegistry()
+        self._sink = JsonlTraceSink(trace_path, name=name, t0=self.tracer.t0)
+        self._prom = PrometheusTextfileSink(prom_path) if prom_path else None
+        self._pid = os.getpid()
+        self._closed = False
+
+    def _on_flush(self, payloads: "list[dict]") -> None:
+        if not self._closed:
+            self._sink.write_spans(payloads)
+
+    @property
+    def trace_path(self) -> str:
+        return self._sink.path
+
+    def close(self) -> None:
+        if self._closed or os.getpid() != self._pid:
+            return
+        self.tracer.flush()
+        self._sink.write_metrics(self.registry.payloads())
+        self._closed = True
+        self._sink.close()
+        if self._prom is not None:
+            self._prom.write(self.registry.payloads())

@@ -1,0 +1,208 @@
+"""Counters, gauges, and fixed-bucket histograms with a null fast path.
+
+The registry is deliberately tiny — three instrument kinds, label sets as
+sorted tuples, no timestamps — because its consumers are an experiment
+runner and a Prometheus textfile, not a metrics backend.  Two properties
+matter and are kept strict:
+
+- **Mergeable.**  Worker processes accumulate into their own registry and
+  ship :meth:`MetricsRegistry.drain` payloads back with each cell result;
+  :meth:`MetricsRegistry.merge` folds them into the driver's registry.
+  Counters and histogram buckets add; gauges keep the latest shipped
+  value.  This is the fork-safe path — workers never see a sink.
+- **Free when disabled.**  The module default is :data:`NULL_REGISTRY`;
+  its instrument factories return shared singletons whose ``inc`` /
+  ``set`` / ``observe`` do nothing, and hot call sites guard on
+  ``registry.enabled`` so the disabled cost is one attribute lookup.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+
+#: default latency buckets, seconds (span-scale work: ms to a minute).
+SECONDS_BUCKETS = (0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0)
+
+#: default magnitude buckets for set sizes (candidate pairs, rejects, ...).
+SIZE_BUCKETS = (10.0, 100.0, 1_000.0, 10_000.0, 100_000.0, 1_000_000.0)
+
+
+class Counter:
+    """Monotonic counter."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, n: "int | float" = 1) -> None:
+        self.value += n
+
+
+class Gauge:
+    """Last-value-wins instrument."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: "int | float") -> None:
+        self.value = value
+
+
+class Histogram:
+    """Fixed-bucket histogram: per-bucket counts plus sum and count.
+
+    ``bounds`` are the inclusive upper edges of the finite buckets; one
+    extra overflow bucket catches everything above the last edge (the
+    Prometheus ``+Inf`` bucket).
+    """
+
+    __slots__ = ("bounds", "counts", "sum", "count")
+
+    def __init__(self, bounds: "tuple[float, ...]" = SECONDS_BUCKETS) -> None:
+        bounds = tuple(float(b) for b in bounds)
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ValueError(f"histogram bounds must be sorted and non-empty: {bounds!r}")
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: "int | float") -> None:
+        # bisect_left keeps the upper edges inclusive (Prometheus ``le``).
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.sum += value
+        self.count += 1
+
+
+class _NullInstrument:
+    """Shared stand-in for all three kinds when telemetry is disabled."""
+
+    __slots__ = ()
+
+    def inc(self, n=1) -> None:
+        return None
+
+    def set(self, value) -> None:
+        return None
+
+    def observe(self, value) -> None:
+        return None
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullRegistry:
+    """Disabled registry: every factory returns the shared null instrument."""
+
+    enabled = False
+
+    def counter(self, name, /, **labels):  # noqa: ARG002
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name, /, **labels):  # noqa: ARG002
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name, /, bounds=None, **labels):  # noqa: ARG002
+        return _NULL_INSTRUMENT
+
+    def payloads(self) -> list:
+        return []
+
+    def drain(self) -> list:
+        return []
+
+    def merge(self, payloads) -> None:
+        return None
+
+
+#: the process-wide disabled registry (module default in repro.telemetry).
+NULL_REGISTRY = NullRegistry()
+
+
+def _label_key(labels: dict) -> "tuple[tuple[str, str], ...]":
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class MetricsRegistry:
+    """Names + label sets -> instruments, created on first use."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._instruments: dict[tuple, object] = {}
+
+    def _get(self, kind: str, name: str, labels: dict, factory):
+        key = (kind, name, _label_key(labels))
+        instrument = self._instruments.get(key)
+        if instrument is None:
+            instrument = factory()
+            self._instruments[key] = instrument
+        return instrument
+
+    def counter(self, name: str, /, **labels) -> Counter:
+        return self._get("counter", name, labels, Counter)
+
+    def gauge(self, name: str, /, **labels) -> Gauge:
+        return self._get("gauge", name, labels, Gauge)
+
+    def histogram(
+        self, name: str, /, bounds: "tuple[float, ...] | None" = None, **labels
+    ) -> Histogram:
+        chosen = SECONDS_BUCKETS if bounds is None else tuple(bounds)
+        return self._get("histogram", name, labels, lambda: Histogram(chosen))
+
+    # -- serialisation --------------------------------------------------
+    def payloads(self) -> "list[dict]":
+        """JSON-safe dump of every instrument, sorted by (kind, name, labels)."""
+        out = []
+        for (kind, name, labels) in sorted(self._instruments):
+            instrument = self._instruments[(kind, name, labels)]
+            payload = {"kind": kind, "name": name, "labels": dict(labels)}
+            if kind == "histogram":
+                payload["bounds"] = list(instrument.bounds)
+                payload["counts"] = list(instrument.counts)
+                payload["sum"] = instrument.sum
+                payload["count"] = instrument.count
+            else:
+                payload["value"] = instrument.value
+            out.append(payload)
+        return out
+
+    def drain(self) -> "list[dict]":
+        """Dump then zero every instrument (worker-side delta shipping)."""
+        out = self.payloads()
+        for (kind, _name, _labels), instrument in self._instruments.items():
+            if kind == "histogram":
+                instrument.counts = [0] * len(instrument.counts)
+                instrument.sum = 0.0
+                instrument.count = 0
+            else:
+                instrument.value = 0
+        return [p for p in out if p.get("value") or p.get("count")]
+
+    def merge(self, payloads: "list[dict]") -> None:
+        """Fold shipped payloads into this registry (additive for counters
+        and histograms, last-write for gauges)."""
+        for p in payloads:
+            kind, name, labels = p["kind"], p["name"], p.get("labels", {})
+            if kind == "counter":
+                self.counter(name, **labels).inc(p["value"])
+            elif kind == "gauge":
+                self.gauge(name, **labels).set(p["value"])
+            elif kind == "histogram":
+                hist = self.histogram(name, bounds=tuple(p["bounds"]), **labels)
+                if tuple(p["bounds"]) != hist.bounds:
+                    raise ValueError(
+                        f"histogram {name!r} bucket bounds diverge: "
+                        f"{tuple(p['bounds'])} vs {hist.bounds}"
+                    )
+                for i, c in enumerate(p["counts"]):
+                    hist.counts[i] += c
+                hist.sum += p["sum"]
+                hist.count += p["count"]
+            else:
+                raise ValueError(f"unknown metric payload kind {kind!r}")

@@ -1,0 +1,202 @@
+"""Reading recorded trace files and rendering cost/counter tables.
+
+This is the consumer side of the subsystem: ``repro trace summary`` and
+``repro trace show`` parse a JSONL trace written by
+:class:`~repro.telemetry.collect.JsonlTraceSink` and render, respectively,
+a per-phase wall-time + counter report and the full span tree.  The reader
+is strict — a missing or malformed header raises :class:`TraceFileError`
+(a ``ValueError``), which the CLI maps to exit code 2.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.telemetry.collect import TRACE_FILE_VERSION
+
+
+class TraceFileError(ValueError):
+    """The file is not a readable repro trace."""
+
+
+class TraceFile:
+    """Parsed trace: header dict, span records, metric records."""
+
+    def __init__(self, header: dict, spans: "list[dict]", metrics: "list[dict]") -> None:
+        self.header = header
+        self.spans = spans
+        self.metrics = metrics
+        self.by_id = {s["id"]: s for s in spans}
+        self.children: dict[str | None, list[dict]] = {}
+        for span in spans:
+            parent = span.get("parent")
+            self.children.setdefault(
+                parent if parent in self.by_id else None, []
+            ).append(span)
+        for siblings in self.children.values():
+            siblings.sort(key=lambda s: (s["start"], s["id"]))
+
+    @property
+    def roots(self) -> "list[dict]":
+        return self.children.get(None, [])
+
+    def counters(self) -> "list[dict]":
+        return [m for m in self.metrics if m["kind"] == "counter"]
+
+    def counter_value(self, name: str, **labels) -> "int | float":
+        total = 0
+        for m in self.counters():
+            if m["name"] != name:
+                continue
+            got = m.get("labels", {})
+            if all(str(got.get(k)) == str(v) for k, v in labels.items()):
+                total += m["value"]
+        return total
+
+
+def read_trace(path: "str | os.PathLike[str]") -> TraceFile:
+    """Parse a JSONL trace file, validating the header."""
+    path = os.fspath(path)
+    header: "dict | None" = None
+    spans: list[dict] = []
+    metrics: list[dict] = []
+    try:
+        fh = open(path, encoding="utf-8")
+    except OSError as exc:
+        raise TraceFileError(f"cannot open trace file {path}: {exc}") from exc
+    with fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise TraceFileError(f"{path}:{lineno}: not JSON: {exc}") from exc
+            if not isinstance(record, dict) or "kind" not in record:
+                raise TraceFileError(f"{path}:{lineno}: record has no 'kind'")
+            kind = record["kind"]
+            if lineno == 1:
+                if kind != "header":
+                    raise TraceFileError(f"{path}: first record is not a header")
+                if record.get("version") != TRACE_FILE_VERSION:
+                    raise TraceFileError(
+                        f"{path}: unsupported trace version {record.get('version')!r}"
+                    )
+                header = record
+            elif kind == "span":
+                spans.append(record)
+            elif kind in ("counter", "gauge", "histogram"):
+                metrics.append(record)
+            elif kind == "header":
+                raise TraceFileError(f"{path}:{lineno}: duplicate header")
+            # unknown kinds are skipped: forward-compatible by construction
+    if header is None:
+        raise TraceFileError(f"{path}: empty trace file")
+    return TraceFile(header, spans, metrics)
+
+
+# ---------------------------------------------------------------------------
+# Rendering
+# ---------------------------------------------------------------------------
+def _fmt_seconds(value: float) -> str:
+    return f"{value:.3f}s"
+
+
+def _span_wall(span: dict) -> float:
+    return max(0.0, span["end"] - span["start"])
+
+
+def _fmt_labels(labels: dict) -> str:
+    if not labels:
+        return ""
+    return "{" + ",".join(f"{k}={v}" for k, v in sorted(labels.items())) + "}"
+
+
+def _rollup(trace: TraceFile, parent: dict) -> "list[tuple[str, float, int]]":
+    """(name, total wall, count) per distinct child-span name, by cost."""
+    totals: dict[str, tuple[float, int]] = {}
+    for child in trace.children.get(parent["id"], []):
+        wall, count = totals.get(child["name"], (0.0, 0))
+        totals[child["name"]] = (wall + _span_wall(child), count + 1)
+    return sorted(
+        ((name, wall, count) for name, (wall, count) in totals.items()),
+        key=lambda row: -row[1],
+    )
+
+
+def summarize(trace: TraceFile) -> str:
+    """Per-phase cost table plus counter and histogram tables."""
+    lines: list[str] = []
+    name = trace.header.get("name", "trace")
+    lines.append(f"trace: {name} ({len(trace.spans)} spans)")
+
+    for root in trace.roots:
+        root_wall = _span_wall(root)
+        lines.append(f"\n[{root['name']}] total {_fmt_seconds(root_wall)}")
+        width = max(
+            [len(r[0]) for r in _rollup(trace, root)] + [5]
+        )
+        for phase, wall, count in _rollup(trace, root):
+            share = (wall / root_wall * 100.0) if root_wall > 0 else 0.0
+            suffix = f"  x{count}" if count > 1 else ""
+            lines.append(
+                f"  {phase:<{width}}  {_fmt_seconds(wall):>10}  {share:5.1f}%{suffix}"
+            )
+
+    counters = trace.counters()
+    if counters:
+        lines.append("\n[counters]")
+        width = max(len(m["name"] + _fmt_labels(m.get("labels", {}))) for m in counters)
+        for m in counters:
+            label = m["name"] + _fmt_labels(m.get("labels", {}))
+            lines.append(f"  {label:<{width}}  {m['value']}")
+
+    histograms = [m for m in trace.metrics if m["kind"] == "histogram"]
+    if histograms:
+        lines.append("\n[histograms]")
+        for m in histograms:
+            label = m["name"] + _fmt_labels(m.get("labels", {}))
+            mean = m["sum"] / m["count"] if m["count"] else 0.0
+            lines.append(
+                f"  {label}  count={m['count']} sum={m['sum']:.6g} mean={mean:.6g}"
+            )
+
+    gauges = [m for m in trace.metrics if m["kind"] == "gauge"]
+    if gauges:
+        lines.append("\n[gauges]")
+        for m in gauges:
+            label = m["name"] + _fmt_labels(m.get("labels", {}))
+            lines.append(f"  {label}  {m['value']}")
+    return "\n".join(lines)
+
+
+def render_tree(
+    trace: TraceFile, max_depth: "int | None" = None, min_seconds: float = 0.0
+) -> str:
+    """The full span tree, indented, with durations and attributes."""
+    lines: list[str] = [f"trace: {trace.header.get('name', 'trace')}"]
+
+    def walk(span: dict, depth: int) -> None:
+        wall = _span_wall(span)
+        if wall < min_seconds and depth > 0:
+            return
+        attrs = span.get("attrs") or {}
+        attr_text = (
+            "  " + " ".join(f"{k}={v}" for k, v in sorted(attrs.items()))
+            if attrs
+            else ""
+        )
+        lines.append(
+            f"{'  ' * depth}{span['name']}  [{_fmt_seconds(wall)}]"
+            f" ({span['id']}){attr_text}"
+        )
+        if max_depth is not None and depth + 1 > max_depth:
+            return
+        for child in trace.children.get(span["id"], []):
+            walk(child, depth + 1)
+
+    for root in trace.roots:
+        walk(root, 0)
+    return "\n".join(lines)

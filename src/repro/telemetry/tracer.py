@@ -1,0 +1,237 @@
+"""Span-based tracing with a strict no-op fast path.
+
+The paper's own argument (§4–§5) is that *explaining* link-prediction
+accuracy needs visibility into what the pipeline actually did — candidate
+set sizes, per-phase cost, retry churn — so the tracer is built for the
+experiment runner's execution model rather than for generic RPC tracing:
+
+- **Nested context-manager spans.**  ``tracer.span("plan")`` opens a span
+  whose parent is whatever span is currently open in this process; wall
+  time comes from ``time.monotonic()`` (never the settable wall clock),
+  and each span carries a free-form attribute dict.
+- **Stable ids.**  Span ids are sequential per tracer (``s000001``, ...),
+  not random: two traces of the same serial run name their spans
+  identically, which makes trace diffs meaningful.  Parent links are by
+  id, so a trace file is a self-contained tree.
+- **Retroactive recording.**  The parallel driver learns a cell's
+  execution window only when its future completes; :meth:`Tracer.record`
+  admits a span with explicit start/end after the fact.
+- **Fork-safe merging.**  Worker processes buffer spans in memory (no
+  sink) and ship them back inside cell results; :meth:`Tracer.merge`
+  re-ids them under a worker-unique prefix and re-parents their roots
+  onto the driver-side cell span.  Only the driver process ever writes
+  the trace file.  ``CLOCK_MONOTONIC`` is system-wide on Linux, so
+  worker timestamps land on the driver's timeline without translation.
+- **Disabled means free.**  The module-level default is
+  :data:`NULL_TRACER`, whose ``span()`` returns one shared do-nothing
+  context manager; call sites that run per-event guard with
+  ``tracer.enabled`` (a plain class attribute — one lookup) so a
+  disabled tracer costs one attribute check per call site.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+
+class _NullSpan:
+    """The shared do-nothing span; every disabled call site gets this one."""
+
+    __slots__ = ()
+    enabled = False
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+    def set(self, **attrs) -> "_NullSpan":
+        return self
+
+
+#: singleton returned by :meth:`NullTracer.span` — never allocates.
+NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """Disabled tracer: every operation is a constant-time no-op."""
+
+    enabled = False
+
+    def span(self, name: str, /, **attrs) -> _NullSpan:  # noqa: ARG002
+        return NULL_SPAN
+
+    def record(self, name, start, end, attrs=None, parent_id=None) -> None:
+        return None
+
+    def merge(self, payloads, parent_id=None, prefix="") -> None:
+        return None
+
+    def drain(self) -> list:
+        return []
+
+    def flush(self) -> None:
+        return None
+
+    def current_span_id(self) -> None:
+        return None
+
+
+#: the process-wide disabled tracer (module default in repro.telemetry).
+NULL_TRACER = NullTracer()
+
+
+class Span:
+    """One open span; closes (and buffers its payload) on ``__exit__``."""
+
+    __slots__ = ("_tracer", "name", "span_id", "parent_id", "start", "attrs")
+    enabled = True
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.span_id = tracer._next_id()
+        self.parent_id = tracer.current_span_id()
+        self.attrs = attrs
+        self.start = 0.0
+
+    def set(self, **attrs) -> "Span":
+        """Attach attributes to the span (chainable)."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        self._tracer._stack.append(self.span_id)
+        self.start = time.monotonic()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        end = time.monotonic()
+        stack = self._tracer._stack
+        if stack and stack[-1] == self.span_id:
+            stack.pop()
+        if exc_type is not None:
+            self.attrs.setdefault("error", exc_type.__name__)
+        self._tracer._finish(
+            {
+                "id": self.span_id,
+                "parent": self.parent_id,
+                "name": self.name,
+                "start": self.start,
+                "end": end,
+                "attrs": self.attrs,
+            }
+        )
+        return False
+
+
+class Tracer:
+    """Recording tracer: buffers finished spans, optionally auto-flushing.
+
+    ``on_flush`` (driver mode) receives batches of finished span payloads
+    whenever the buffer reaches ``buffer_limit`` — the collector hooks the
+    JSONL sink here.  Without it (worker mode) spans accumulate until
+    :meth:`drain` ships them across the process boundary.  Flushing is
+    guarded by the owning pid, so a forked child that inherits a driver
+    tracer can never write to the parent's sink.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        prefix: str = "s",
+        buffer_limit: int = 512,
+        on_flush=None,
+    ) -> None:
+        self.t0 = time.monotonic()
+        self.wall0 = time.time()
+        self._prefix = prefix
+        self._counter = 0
+        self._stack: list[str] = []
+        self._buffer: list[dict] = []
+        self._limit = max(1, buffer_limit)
+        self._on_flush = on_flush
+        self._pid = os.getpid()
+
+    # -- ids and parenting ---------------------------------------------
+    def _next_id(self) -> str:
+        self._counter += 1
+        return f"{self._prefix}{self._counter:06d}"
+
+    def current_span_id(self) -> "str | None":
+        """Id of the innermost open span in this process, if any."""
+        return self._stack[-1] if self._stack else None
+
+    # -- recording ------------------------------------------------------
+    def span(self, name: str, /, **attrs) -> Span:
+        """Open a nested span as a context manager (``name`` is
+        positional-only so an attribute may also be called ``name``)."""
+        return Span(self, name, attrs)
+
+    def record(
+        self,
+        name: str,
+        start: float,
+        end: float,
+        attrs: "dict | None" = None,
+        parent_id: "str | None" = None,
+    ) -> str:
+        """Admit a span retroactively with explicit monotonic start/end.
+
+        Returns the new span's id so callers can hang children under it
+        (the parallel driver re-parents shipped worker spans this way).
+        """
+        span_id = self._next_id()
+        self._finish(
+            {
+                "id": span_id,
+                "parent": parent_id if parent_id is not None else self.current_span_id(),
+                "name": name,
+                "start": start,
+                "end": end,
+                "attrs": dict(attrs or {}),
+            }
+        )
+        return span_id
+
+    def merge(
+        self, payloads: "list[dict]", parent_id: "str | None" = None, prefix: str = ""
+    ) -> None:
+        """Adopt spans shipped from another process.
+
+        Ids are namespaced under ``prefix`` (worker-unique, so pool
+        rebuilds and pid reuse cannot collide) and any span whose parent
+        is not in the shipped batch — the worker-side roots — is
+        re-parented onto ``parent_id``.
+        """
+        shipped = {p["id"] for p in payloads}
+        for p in payloads:
+            adopted = dict(p)
+            adopted["id"] = prefix + p["id"]
+            parent = p.get("parent")
+            adopted["parent"] = prefix + parent if parent in shipped else parent_id
+            self._finish(adopted)
+
+    # -- buffering ------------------------------------------------------
+    def _finish(self, payload: dict) -> None:
+        self._buffer.append(payload)
+        if self._on_flush is not None and len(self._buffer) >= self._limit:
+            self.flush()
+
+    def flush(self) -> None:
+        """Hand buffered spans to ``on_flush`` (driver process only)."""
+        if self._on_flush is None or not self._buffer:
+            return
+        if os.getpid() != self._pid:
+            # forked child holding the driver's tracer: never touch the sink.
+            return
+        batch, self._buffer = self._buffer, []
+        self._on_flush(batch)
+
+    def drain(self) -> "list[dict]":
+        """Return and clear the buffered spans (worker-side shipping)."""
+        batch, self._buffer = self._buffer, []
+        return batch

@@ -1,0 +1,111 @@
+"""Tests for the shared benchmark result-writer (benchmarks/_common.py)."""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "benchmarks"))
+
+import _common
+from _common import (
+    BENCH_SCHEMA_VERSION,
+    BenchReportError,
+    build_report,
+    validate_report,
+    write_report,
+)
+
+
+def _entries():
+    return [{"label": "small", "value": 1}, {"label": "large", "value": 2}]
+
+
+class TestValidation:
+    def test_build_report_envelope(self):
+        report = build_report("demo", _entries())
+        assert report["bench"] == "demo"
+        assert report["schema"] == BENCH_SCHEMA_VERSION
+        assert isinstance(report["cpus"], int)
+        assert validate_report(report) is report
+
+    @pytest.mark.parametrize(
+        "mutate, match",
+        [
+            (lambda r: r.pop("cpus"), "missing keys"),
+            (lambda r: r.update(schema=99), "schema"),
+            (lambda r: r.update(bench=""), "non-empty string"),
+            (lambda r: r.update(sizes=[]), "non-empty list"),
+            (lambda r: r.update(sizes=["nope"]), "must be a dict"),
+            (lambda r: r.update(sizes=[{"value": 1}]), "label"),
+            (
+                lambda r: r.update(
+                    sizes=[{"label": "a"}, {"label": "a"}]
+                ),
+                "unique",
+            ),
+            (
+                lambda r: r.update(sizes=[{"label": "a", "x": float("nan")}]),
+                "JSON-safe",
+            ),
+            (
+                lambda r: r.update(sizes=[{"label": "a", "x": object()}]),
+                "JSON-safe",
+            ),
+        ],
+    )
+    def test_schema_violations_raise(self, mutate, match):
+        report = build_report("demo", _entries())
+        mutate(report)
+        with pytest.raises(BenchReportError, match=match):
+            validate_report(report)
+
+
+class TestWriter:
+    @pytest.fixture(autouse=True)
+    def _sandbox(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(_common, "REPO_ROOT", tmp_path)
+        monkeypatch.setattr(_common, "RESULTS_DIR", tmp_path / "results")
+
+    def test_writes_json_named_after_bench(self, tmp_path):
+        path = write_report(build_report("demo", _entries()))
+        assert path == tmp_path / "BENCH_demo.json"
+        payload = json.loads(path.read_text())
+        assert payload["bench"] == "demo"
+        assert [e["label"] for e in payload["sizes"]] == ["small", "large"]
+        assert not path.with_name(path.name + ".tmp").exists()
+
+    def test_json_stem_override_keeps_bench_name(self, tmp_path):
+        path = write_report(build_report("core_scaling", _entries()), json_stem="core")
+        assert path == tmp_path / "BENCH_core.json"
+        assert json.loads(path.read_text())["bench"] == "core_scaling"
+
+    def test_line_formatter_writes_text_summary(self, tmp_path):
+        write_report(
+            build_report("demo", _entries()),
+            line_formatter=lambda e: f"{e['label']}: {e['value']}",
+        )
+        text = (tmp_path / "results" / "demo.txt").read_text()
+        assert text == "small: 1\nlarge: 2\n"
+
+    def test_invalid_report_never_touches_disk(self, tmp_path):
+        report = build_report("demo", _entries())
+        report["sizes"] = []
+        with pytest.raises(BenchReportError):
+            write_report(report)
+        assert not (tmp_path / "BENCH_demo.json").exists()
+
+
+class TestBenchModulesUseTheWriter:
+    def test_all_three_benchmarks_import_the_shared_writer(self):
+        bench_dir = Path(__file__).resolve().parent.parent / "benchmarks"
+        for name in (
+            "bench_core_scaling.py",
+            "bench_ingest.py",
+            "bench_telemetry_overhead.py",
+        ):
+            source = (bench_dir / name).read_text(encoding="utf-8")
+            assert "from _common import build_report, write_report" in source

@@ -1,0 +1,378 @@
+"""Unit tests for repro.telemetry: tracer, metrics, collector, summary."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import telemetry
+from repro.telemetry import (
+    NullRegistry,
+    NullTracer,
+    MetricsRegistry,
+    TelemetrySession,
+    TraceFileError,
+    Tracer,
+    prometheus_text,
+    read_trace,
+    render_tree,
+    summarize,
+)
+from repro.telemetry.metrics import NULL_REGISTRY, SIZE_BUCKETS, Histogram
+from repro.telemetry.tracer import NULL_SPAN, NULL_TRACER
+
+
+@pytest.fixture(autouse=True)
+def _clean_telemetry():
+    """Every test starts and ends with the module-level nulls installed."""
+    telemetry.shutdown()
+    yield
+    telemetry.shutdown()
+
+
+# ---------------------------------------------------------------------------
+# Null fast path
+# ---------------------------------------------------------------------------
+class TestNullFastPath:
+    def test_module_defaults_are_null(self):
+        assert telemetry.tracer is NULL_TRACER
+        assert telemetry.metrics is NULL_REGISTRY
+        assert not telemetry.tracer.enabled
+        assert not telemetry.metrics.enabled
+
+    def test_null_span_is_a_shared_singleton(self):
+        a = NULL_TRACER.span("anything", size=3)
+        b = NULL_TRACER.span("else")
+        assert a is b is NULL_SPAN
+        with a as span:
+            assert span.set(k=1) is span
+
+    def test_null_tracer_operations_are_inert(self):
+        t = NullTracer()
+        assert t.record("x", 0.0, 1.0) is None
+        assert t.merge([{"id": "a"}]) is None
+        assert t.drain() == []
+        assert t.current_span_id() is None
+
+    def test_null_registry_instruments_are_inert(self):
+        r = NullRegistry()
+        r.counter("c", key="x").inc(5)
+        r.gauge("g").set(2)
+        r.histogram("h", bounds=(1.0,)).observe(0.5)
+        assert r.payloads() == [] and r.drain() == []
+
+    def test_name_may_also_be_an_attribute(self):
+        # `name` is positional-only on span() and the instrument factories,
+        # so an attribute/label called "name" never collides.
+        NULL_TRACER.span("run", name="spec-name")
+        NullRegistry().counter("c", name="label")
+        MetricsRegistry().counter("c", name="label").inc()
+
+
+# ---------------------------------------------------------------------------
+# Tracer
+# ---------------------------------------------------------------------------
+class TestTracer:
+    def test_nesting_parents_and_sequential_ids(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            assert tracer.current_span_id() == outer.span_id
+            with tracer.span("inner") as inner:
+                assert inner.parent_id == outer.span_id
+        spans = {s["name"]: s for s in tracer.drain()}
+        assert spans["outer"]["id"] == "s000001"
+        assert spans["inner"]["id"] == "s000002"
+        assert spans["outer"]["parent"] is None
+        assert spans["inner"]["parent"] == "s000001"
+        assert spans["inner"]["end"] >= spans["inner"]["start"]
+
+    def test_set_attaches_attributes(self):
+        tracer = Tracer()
+        with tracer.span("work", size=3) as span:
+            span.set(result="ok")
+        (payload,) = tracer.drain()
+        assert payload["attrs"] == {"size": 3, "result": "ok"}
+
+    def test_exception_marks_span_and_propagates(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("doomed"):
+                raise RuntimeError("boom")
+        (payload,) = tracer.drain()
+        assert payload["attrs"]["error"] == "RuntimeError"
+        assert tracer.current_span_id() is None  # stack unwound
+
+    def test_record_is_retroactive_and_returns_id(self):
+        tracer = Tracer()
+        span_id = tracer.record("late", 1.0, 2.5, attrs={"k": 1})
+        (payload,) = tracer.drain()
+        assert payload["id"] == span_id
+        assert payload["start"] == 1.0 and payload["end"] == 2.5
+
+    def test_merge_reids_and_reparents_roots(self):
+        worker = Tracer()
+        with worker.span("cell.execute"):
+            with worker.span("eval.step"):
+                pass
+        shipped = worker.drain()
+
+        driver = Tracer()
+        parent = driver.record("cell", 0.0, 1.0)
+        driver.merge(shipped, parent_id=parent, prefix="wdeadbeef:")
+        spans = {s["name"]: s for s in driver.drain()}
+        # worker root hangs off the driver-side cell span...
+        assert spans["cell.execute"]["parent"] == parent
+        # ...and the worker-internal parent link survives, namespaced.
+        assert spans["eval.step"]["parent"] == spans["cell.execute"]["id"]
+        assert spans["cell.execute"]["id"].startswith("wdeadbeef:")
+
+    def test_auto_flush_at_buffer_limit(self):
+        batches = []
+        tracer = Tracer(buffer_limit=2, on_flush=batches.append)
+        for i in range(5):
+            with tracer.span(f"s{i}"):
+                pass
+        tracer.flush()
+        assert sum(len(b) for b in batches) == 5
+        assert len(batches[0]) == 2
+
+    def test_flush_is_pid_guarded(self):
+        batches = []
+        tracer = Tracer(on_flush=batches.append)
+        with tracer.span("x"):
+            pass
+        tracer._pid = tracer._pid + 1  # simulate a forked child
+        tracer.flush()
+        assert batches == []  # never touches the parent's sink
+
+
+# ---------------------------------------------------------------------------
+# Metrics
+# ---------------------------------------------------------------------------
+class TestMetrics:
+    def test_counter_identity_by_name_and_labels(self):
+        r = MetricsRegistry()
+        r.counter("hits", key="CN").inc()
+        r.counter("hits", key="CN").inc(2)
+        r.counter("hits", key="PA").inc()
+        assert r.counter("hits", key="CN").value == 3
+        assert r.counter("hits", key="PA").value == 1
+
+    def test_gauge_last_write_wins(self):
+        r = MetricsRegistry()
+        r.gauge("level").set(3)
+        r.gauge("level").set(7)
+        assert r.gauge("level").value == 7
+
+    def test_histogram_buckets_and_overflow(self):
+        h = Histogram(bounds=(1.0, 10.0))
+        for v in (0.5, 1.0, 5.0, 100.0):
+            h.observe(v)
+        # inclusive upper edges: 0.5,1.0 -> first; 5.0 -> second; 100 -> +Inf
+        assert h.counts == [2, 1, 1]
+        assert h.count == 4 and h.sum == pytest.approx(106.5)
+
+    def test_histogram_rejects_unsorted_bounds(self):
+        with pytest.raises(ValueError, match="sorted"):
+            Histogram(bounds=(5.0, 1.0))
+
+    def test_payloads_are_sorted_and_json_safe(self):
+        r = MetricsRegistry()
+        r.histogram("b.sizes", bounds=SIZE_BUCKETS, strategy="all").observe(50)
+        r.counter("a.count").inc()
+        payloads = r.payloads()
+        assert [p["kind"] for p in payloads] == ["counter", "histogram"]
+        json.dumps(payloads)  # must not raise
+
+    def test_drain_zeroes_and_drops_empty_series(self):
+        r = MetricsRegistry()
+        r.counter("used").inc(4)
+        r.counter("untouched")  # zero-valued: never shipped
+        shipped = r.drain()
+        assert [p["name"] for p in shipped] == ["used"]
+        assert r.counter("used").value == 0
+        assert r.drain() == []  # second drain ships nothing
+
+    def test_merge_adds_counters_and_histograms(self):
+        worker = MetricsRegistry()
+        worker.counter("cells").inc(2)
+        worker.histogram("t", bounds=(1.0,)).observe(0.5)
+        driver = MetricsRegistry()
+        driver.counter("cells").inc(1)
+        driver.merge(worker.drain())
+        driver.merge([{"kind": "gauge", "name": "g", "labels": {}, "value": 9}])
+        assert driver.counter("cells").value == 3
+        assert driver.histogram("t", bounds=(1.0,)).count == 1
+        assert driver.gauge("g").value == 9
+
+    def test_merge_rejects_divergent_histogram_bounds(self):
+        driver = MetricsRegistry()
+        driver.histogram("t", bounds=(1.0, 2.0)).observe(0.5)
+        payload = {
+            "kind": "histogram", "name": "t", "labels": {},
+            "bounds": [1.0, 5.0], "counts": [1, 0, 0], "sum": 0.5, "count": 1,
+        }
+        with pytest.raises(ValueError, match="diverge"):
+            driver.merge([payload])
+
+
+# ---------------------------------------------------------------------------
+# Collector: trace file + Prometheus exposition
+# ---------------------------------------------------------------------------
+class TestCollect:
+    def test_session_writes_header_spans_then_metrics(self, tmp_path):
+        path = tmp_path / "t.trace.jsonl"
+        session = TelemetrySession(path, name="unit")
+        with session.tracer.span("root"):
+            with session.tracer.span("child"):
+                pass
+        session.registry.counter("c").inc(2)
+        session.close()
+
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        assert lines[0]["kind"] == "header"
+        assert lines[0]["version"] == 1 and lines[0]["name"] == "unit"
+        kinds = [l["kind"] for l in lines[1:]]
+        assert kinds == ["span", "span", "counter"]
+        for span in lines[1:3]:
+            assert 0.0 <= span["start"] <= span["end"]  # t0-relative
+
+    def test_session_close_is_idempotent(self, tmp_path):
+        session = TelemetrySession(tmp_path / "t.jsonl")
+        session.close()
+        session.close()
+
+    def test_prometheus_exposition_format(self, tmp_path):
+        r = MetricsRegistry()
+        r.counter("cells.executed").inc(3)
+        r.histogram("cell.seconds", bounds=(0.1, 1.0), engine="pool").observe(0.05)
+        r.histogram("cell.seconds", bounds=(0.1, 1.0), engine="pool").observe(5.0)
+        text = prometheus_text(r.payloads())
+        assert "# TYPE repro_cells_executed counter" in text
+        assert "repro_cells_executed 3" in text
+        assert 'repro_cell_seconds_bucket{engine="pool",le="0.1"} 1' in text
+        assert 'repro_cell_seconds_bucket{engine="pool",le="+Inf"} 2' in text
+        assert 'repro_cell_seconds_count{engine="pool"} 2' in text
+        assert text.endswith("\n")
+
+    def test_prom_textfile_sink_via_session(self, tmp_path):
+        prom = tmp_path / "m.prom"
+        session = TelemetrySession(tmp_path / "t.jsonl", prom_path=prom)
+        session.registry.counter("x").inc()
+        session.close()
+        assert "repro_x 1" in prom.read_text()
+        assert not prom.with_name(prom.name + ".tmp").exists()
+
+
+# ---------------------------------------------------------------------------
+# Summary: reading + rendering
+# ---------------------------------------------------------------------------
+def _write_trace(path, records):
+    path.write_text(
+        "\n".join(json.dumps(r) for r in records) + "\n", encoding="utf-8"
+    )
+
+
+_HEADER = {"kind": "header", "version": 1, "name": "t", "started_unix": 0, "pid": 1}
+
+
+class TestSummary:
+    def test_round_trip_through_session(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        session = TelemetrySession(path, name="round")
+        with session.tracer.span("run"):
+            with session.tracer.span("plan"):
+                pass
+            with session.tracer.span("execute"):
+                pass
+        session.registry.counter("cells.executed").inc(4)
+        session.close()
+
+        trace = read_trace(path)
+        assert [s["name"] for s in trace.roots] == ["run"]
+        children = [c["name"] for c in trace.children[trace.roots[0]["id"]]]
+        assert children == ["plan", "execute"]
+        assert trace.counter_value("cells.executed") == 4
+
+        text = summarize(trace)
+        assert "[run] total" in text and "plan" in text and "[counters]" in text
+        tree = render_tree(trace, max_depth=0)
+        assert "plan" not in tree  # depth-limited to the roots
+
+    def test_counter_value_sums_matching_label_subsets(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        _write_trace(
+            path,
+            [
+                _HEADER,
+                {"kind": "counter", "name": "f", "labels": {"class": "a"}, "value": 2},
+                {"kind": "counter", "name": "f", "labels": {"class": "b"}, "value": 3},
+            ],
+        )
+        trace = read_trace(path)
+        assert trace.counter_value("f") == 5
+        assert trace.counter_value("f", **{"class": "a"}) == 2
+        assert trace.counter_value("missing") == 0
+
+    @pytest.mark.parametrize(
+        "records, match",
+        [
+            ([], "empty"),
+            ([{"kind": "span", "id": "x"}], "not a header"),
+            ([{"kind": "header", "version": 99}], "unsupported trace version"),
+            ([_HEADER, _HEADER], "duplicate header"),
+        ],
+    )
+    def test_malformed_traces_raise(self, tmp_path, records, match):
+        path = tmp_path / "bad.jsonl"
+        _write_trace(path, records) if records else path.write_text("")
+        with pytest.raises(TraceFileError, match=match):
+            read_trace(path)
+
+    def test_missing_file_and_non_json_raise(self, tmp_path):
+        with pytest.raises(TraceFileError, match="cannot open"):
+            read_trace(tmp_path / "nope.jsonl")
+        bad = tmp_path / "garbage.jsonl"
+        bad.write_text(json.dumps(_HEADER) + "\n{not json\n")
+        with pytest.raises(TraceFileError, match="not JSON"):
+            read_trace(bad)
+
+    def test_unknown_record_kinds_are_skipped(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        _write_trace(path, [_HEADER, {"kind": "future-thing", "x": 1}])
+        assert read_trace(path).spans == []
+
+
+# ---------------------------------------------------------------------------
+# Module lifecycle: configure / shutdown / worker mode
+# ---------------------------------------------------------------------------
+class TestLifecycle:
+    def test_configure_swaps_globals_and_shutdown_restores(self, tmp_path):
+        session = telemetry.configure(tmp_path / "t.jsonl", name="lc")
+        assert telemetry.tracer is session.tracer and telemetry.tracer.enabled
+        assert telemetry.metrics is session.registry
+        telemetry.shutdown()
+        assert telemetry.tracer is NULL_TRACER
+        assert telemetry.metrics is NULL_REGISTRY
+
+    def test_double_configure_raises(self, tmp_path):
+        telemetry.configure(tmp_path / "a.jsonl")
+        with pytest.raises(RuntimeError, match="already configured"):
+            telemetry.configure(tmp_path / "b.jsonl")
+
+    def test_worker_mode_buffers_and_ships(self):
+        token = telemetry.install_worker_mode()
+        assert token and telemetry.worker_token() == token
+        with telemetry.tracer.span("cell.execute"):
+            pass
+        telemetry.metrics.counter("cells.completed").inc()
+        payload = telemetry.drain_worker_payload()
+        assert payload["token"] == token
+        assert [s["name"] for s in payload["spans"]] == ["cell.execute"]
+        assert payload["metrics"][0]["name"] == "cells.completed"
+        # drained: next call ships nothing
+        assert telemetry.drain_worker_payload() is None
+
+    def test_drain_worker_payload_outside_worker_is_none(self):
+        assert telemetry.drain_worker_payload() is None

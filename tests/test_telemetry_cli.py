@@ -1,0 +1,162 @@
+"""CLI tests for the telemetry surface: --telemetry, trace subcommands,
+--timing-json, --version, and the `run` alias."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import __version__, telemetry
+from repro.__main__ import main
+from repro.eval.runner import ExperimentSpec, RunTiming
+
+
+@pytest.fixture(autouse=True)
+def _clean_telemetry():
+    telemetry.shutdown()
+    yield
+    telemetry.shutdown()
+
+
+@pytest.fixture()
+def spec_path(tmp_path):
+    spec = ExperimentSpec(
+        name="cli-telemetry",
+        dataset="facebook",
+        scale=0.1,
+        generation_seed=1,
+        metrics=("CN", "PA"),
+        repeats=2,
+        max_steps=1,
+    )
+    path = tmp_path / "spec.json"
+    path.write_text(spec.to_json(), encoding="utf-8")
+    return path
+
+
+class TestVersionAndHelp:
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert capsys.readouterr().out.strip() == f"repro {__version__}"
+
+    def test_help_documents_exit_codes(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        for code in ("0 ", "1 ", "2 ", "130"):
+            assert code in out
+        assert "interrupt" in out.lower()
+
+
+class TestRunAlias:
+    def test_run_is_an_alias_for_experiment(self, spec_path, capsys):
+        assert main(["run", "--spec", str(spec_path)]) == 0
+        assert "cli-telemetry" in capsys.readouterr().out
+
+
+class TestTelemetryFlag:
+    def test_run_records_a_readable_trace(self, spec_path, tmp_path, capsys):
+        trace_path = tmp_path / "run.trace.jsonl"
+        prom_path = tmp_path / "run.prom"
+        assert main(
+            [
+                "run", "--spec", str(spec_path), "--jobs", "2",
+                "--telemetry", str(trace_path),
+                "--telemetry-prom", str(prom_path),
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert str(trace_path) in out
+        # trace is valid and the module globals were restored
+        assert not telemetry.tracer.enabled
+        records = [
+            json.loads(l) for l in trace_path.read_text().splitlines()
+        ]
+        assert records[0]["kind"] == "header"
+        assert records[0]["name"] == "cli-telemetry"
+        assert "repro_cells_executed" in prom_path.read_text()
+
+    def test_prom_without_telemetry_is_a_usage_error(self, spec_path, tmp_path):
+        assert main(
+            [
+                "run", "--spec", str(spec_path),
+                "--telemetry-prom", str(tmp_path / "x.prom"),
+            ]
+        ) == 2
+
+    def test_trace_summary_names_the_phases(self, spec_path, tmp_path, capsys):
+        trace_path = tmp_path / "run.trace.jsonl"
+        assert main(
+            ["run", "--spec", str(spec_path), "--telemetry", str(trace_path)]
+        ) == 0
+        capsys.readouterr()
+        assert main(["trace", "summary", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "[run] total" in out
+        for phase in ("plan", "execute", "reduce"):
+            assert phase in out
+        assert "[counters]" in out and "cells.executed" in out
+
+    def test_trace_show_renders_the_tree(self, spec_path, tmp_path, capsys):
+        trace_path = tmp_path / "run.trace.jsonl"
+        assert main(
+            ["run", "--spec", str(spec_path), "--telemetry", str(trace_path)]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            ["trace", "show", str(trace_path), "--max-depth", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert out.splitlines()[1].startswith("run ")
+        assert "  plan" in out
+        assert "cell.execute" not in out  # depth-limited
+
+    def test_trace_summary_missing_file_exits_2(self, tmp_path, capsys):
+        assert main(["trace", "summary", str(tmp_path / "nope.jsonl")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_trace_summary_rejects_garbage_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("not json at all\n", encoding="utf-8")
+        assert main(["trace", "summary", str(bad)]) == 2
+
+
+class TestTimingJson:
+    def test_timing_json_round_trips(self, spec_path, tmp_path, capsys):
+        timing_path = tmp_path / "timing.json"
+        assert main(
+            [
+                "run", "--spec", str(spec_path),
+                "--timing-json", str(timing_path),
+            ]
+        ) == 0
+        payload = json.loads(timing_path.read_text())
+        assert payload["name"] == "cli-telemetry"
+        timing = RunTiming.from_payload(payload["timing"])
+        assert timing.cells == 4  # 2 metrics x 1 step x 2 repeats
+        assert timing.wall_seconds > 0
+        assert payload["timing"] == timing.to_payload()  # lossless
+        assert payload["faults"] == {
+            "failure_kinds": {},
+            "retries": 0,
+            "pool_rebuilds": 0,
+            "degraded_to_serial": False,
+            "journal_cells": 0,
+        }
+
+    def test_timing_json_never_leaks_into_out_results(
+        self, spec_path, tmp_path, capsys
+    ):
+        out_path = tmp_path / "result.json"
+        assert main(
+            [
+                "run", "--spec", str(spec_path), "--out", str(out_path),
+                "--timing-json", str(tmp_path / "t.json"),
+            ]
+        ) == 0
+        result = json.loads(out_path.read_text())
+        assert "timing" not in result

@@ -1,0 +1,251 @@
+"""Integration tests: telemetry woven through ingest and the runner.
+
+The contract under test is two-sided: with telemetry *on*, the recorded
+trace must describe the run faithfully (phases, per-cell spans, worker
+spans merged under driver-side cell spans, counters equal to the
+``RunTiming`` / ``IngestReport`` the run itself printed); and in every
+mode, the *scientific* output must be byte-for-byte untouched — the
+canonical result JSON, the journal lines, and the parallel-parity
+guarantee are identical whether telemetry ran or not.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import telemetry
+from repro.eval.journal import CellJournal
+from repro.eval.runner import ExperimentSpec, run_experiment
+from repro.ingest import IngestPolicy, load_trace
+from repro.telemetry import read_trace
+
+SPEC = ExperimentSpec(
+    name="telemetry-it",
+    dataset="facebook",
+    scale=0.1,
+    generation_seed=1,
+    metrics=("CN", "PA"),
+    repeats=2,
+    max_steps=2,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_telemetry():
+    telemetry.shutdown()
+    yield
+    telemetry.shutdown()
+
+
+def _run_with_trace(tmp_path, n_jobs, name="it"):
+    trace_path = tmp_path / f"{name}.trace.jsonl"
+    telemetry.configure(trace_path, name=name)
+    try:
+        result = run_experiment(SPEC, n_jobs=n_jobs)
+    finally:
+        telemetry.shutdown()
+    return result, read_trace(trace_path)
+
+
+# ---------------------------------------------------------------------------
+# Trace structure
+# ---------------------------------------------------------------------------
+class TestTraceStructure:
+    def test_serial_run_has_the_three_phases(self, tmp_path):
+        result, trace = _run_with_trace(tmp_path, n_jobs=1)
+        (root,) = trace.roots
+        assert root["name"] == "run"
+        assert root["attrs"]["name"] == "telemetry-it"
+        phases = [c["name"] for c in trace.children[root["id"]]]
+        assert phases == ["plan", "execute", "reduce"]
+        execute = next(
+            c for c in trace.children[root["id"]] if c["name"] == "execute"
+        )
+        assert execute["attrs"]["engine"] == "serial"
+        # every cell executed inside the execute span
+        cell_spans = [
+            s for s in trace.spans
+            if s["name"] == "cell.execute" and s["parent"] == execute["id"]
+        ]
+        assert len(cell_spans) == result.timing.cells
+
+    def test_phase_times_nest_inside_the_root(self, tmp_path):
+        _, trace = _run_with_trace(tmp_path, n_jobs=1)
+        (root,) = trace.roots
+        for child in trace.children[root["id"]]:
+            assert root["start"] <= child["start"] <= child["end"] <= root["end"]
+
+    def test_run_counters_match_run_timing(self, tmp_path):
+        result, trace = _run_with_trace(tmp_path, n_jobs=1)
+        timing = result.timing
+        assert trace.counter_value("cells.executed") == timing.cells
+        assert trace.counter_value("cells.completed") == timing.cells
+        assert trace.counter_value("cells.retries") == timing.retries
+        assert trace.counter_value("pool.rebuilds") == timing.pool_rebuilds
+        assert trace.counter_value("cells.journal_restored") == 0
+
+    def test_parallel_run_merges_worker_spans(self, tmp_path):
+        result, trace = _run_with_trace(tmp_path, n_jobs=2, name="pool")
+        (root,) = trace.roots
+        execute = next(
+            c for c in trace.children[root["id"]] if c["name"] == "execute"
+        )
+        assert execute["attrs"]["engine"] == "pool"
+        # driver-side retroactive cell spans hang off execute...
+        cell_spans = [
+            s for s in trace.spans
+            if s["name"] == "cell" and s["parent"] == execute["id"]
+        ]
+        assert len(cell_spans) == result.timing.cells
+        # ...and every worker span is namespaced and parented inside one.
+        worker_spans = [s for s in trace.spans if s["id"].startswith("w")]
+        worker_executes = [s for s in worker_spans if s["name"] == "cell.execute"]
+        assert len(worker_executes) == result.timing.cells
+        cell_ids = {s["id"] for s in cell_spans}
+        for span in worker_executes:
+            assert span["parent"] in cell_ids
+        # no orphans anywhere: every parent resolves or is a root
+        for span in trace.spans:
+            assert span["parent"] is None or span["parent"] in trace.by_id
+        # worker metric deltas merged additively into the driver registry
+        assert trace.counter_value("cells.completed") == result.timing.cells
+
+    def test_parallel_cell_attrs_carry_execution_metadata(self, tmp_path):
+        _, trace = _run_with_trace(tmp_path, n_jobs=2, name="attrs")
+        cells = [s for s in trace.spans if s["name"] == "cell"]
+        for span in cells:
+            assert {"metric", "step", "seed", "attempt", "engine"} <= set(
+                span["attrs"]
+            )
+            assert span["attrs"]["engine"] == "pool"
+
+
+# ---------------------------------------------------------------------------
+# Determinism: telemetry must never touch scientific output
+# ---------------------------------------------------------------------------
+class TestResultPurity:
+    def test_canonical_json_identical_with_and_without_telemetry(self, tmp_path):
+        """The satellite acceptance test: canonical ExperimentResult JSON is
+        byte-identical whether telemetry/timing were recorded or not."""
+        plain = run_experiment(SPEC, n_jobs=1)
+        with_tel, _ = _run_with_trace(tmp_path, n_jobs=1)
+        with_tel_pool, _ = _run_with_trace(tmp_path, n_jobs=2, name="p")
+        assert with_tel.to_json() == plain.to_json()
+        assert with_tel_pool.to_json() == plain.to_json()
+
+    def test_canonical_json_excludes_timing_block(self):
+        result = run_experiment(SPEC, n_jobs=1)
+        assert result.timing is not None
+        canonical = result.to_json()
+        stripped = json.loads(canonical)
+        assert set(stripped) == {"spec", "num_snapshots", "steps_evaluated", "series"}
+        result.timing = None
+        assert result.to_json() == canonical
+        # include_timing is the explicit opt-in, not the default
+        result2 = run_experiment(SPEC, n_jobs=1)
+        assert "timing" in json.loads(result2.to_json(include_timing=True))
+
+    def test_parallel_parity_holds_with_telemetry_enabled(self, tmp_path):
+        serial = run_experiment(SPEC, n_jobs=1)
+        parallel, _ = _run_with_trace(tmp_path, n_jobs=2, name="parity")
+        assert parallel.to_json() == serial.to_json()
+
+    def test_journal_lines_carry_no_telemetry(self, tmp_path):
+        journal_path = tmp_path / "cells.jsonl"
+        telemetry.configure(tmp_path / "j.trace.jsonl")
+        try:
+            run_experiment(SPEC, n_jobs=2, journal=journal_path)
+        finally:
+            telemetry.shutdown()
+        lines = [
+            json.loads(l) for l in journal_path.read_text().splitlines()
+        ]
+        cells = [l for l in lines if l["kind"] == "cell"]
+        assert cells
+        for line in cells:
+            assert "telemetry" not in line
+
+    def test_journal_resume_is_byte_identical_under_telemetry(self, tmp_path):
+        journal_path = tmp_path / "resume.jsonl"
+        clean = run_experiment(SPEC, n_jobs=1)
+        # first run fills the journal with telemetry on
+        telemetry.configure(tmp_path / "r1.jsonl")
+        try:
+            run_experiment(SPEC, n_jobs=1, journal=journal_path)
+        finally:
+            telemetry.shutdown()
+        # resumed run restores every cell; counters reflect the restore
+        telemetry.configure(tmp_path / "r2.jsonl")
+        try:
+            resumed = run_experiment(SPEC, n_jobs=1, journal=journal_path)
+        finally:
+            telemetry.shutdown()
+        assert resumed.to_json() == clean.to_json()
+        trace = read_trace(tmp_path / "r2.jsonl")
+        with CellJournal(journal_path, SPEC) as journal:
+            assert trace.counter_value("cells.journal_restored") == len(journal)
+        assert trace.counter_value("cells.executed") == 0
+
+
+# ---------------------------------------------------------------------------
+# Ingest counters mirror the IngestReport
+# ---------------------------------------------------------------------------
+class TestIngestCounters:
+    def test_counters_equal_report_on_messy_file(self, tmp_path):
+        messy = tmp_path / "messy.txt"
+        messy.write_text(
+            "# repro-trace v2\n"
+            "0 1 1.0\n"
+            "2 2 2.0\n"        # self loop
+            "3 4 x.y\n"        # unparseable time
+            "4 5 3.0\n"
+            "5 6 2.5\n"        # out of order
+            "garbage\n"        # wrong arity
+            "6 7 4.0\n",
+            encoding="utf-8",
+        )
+        telemetry.configure(tmp_path / "ingest.trace.jsonl")
+        try:
+            graph = load_trace(messy, policy=IngestPolicy.repair())
+        finally:
+            telemetry.shutdown()
+        report = graph.ingest_report
+        trace = read_trace(tmp_path / "ingest.trace.jsonl")
+        assert trace.counter_value("ingest.lines_total") == report.lines_total
+        assert trace.counter_value("ingest.events_parsed") == report.events_parsed
+        assert (
+            trace.counter_value("ingest.events_accepted") == report.events_accepted
+        )
+        assert report.total_flagged > 0  # the file really was messy
+        for error_class, count in report.flagged.items():
+            assert (
+                trace.counter_value(
+                    "ingest.flagged_total", **{"class": error_class}
+                )
+                == count
+            )
+        for error_class, count in report.repaired.items():
+            assert (
+                trace.counter_value(
+                    "ingest.repaired_total", **{"class": error_class}
+                )
+                == count
+            )
+        assert trace.counter_value("ingest.flagged_total") == report.total_flagged
+
+    def test_scan_span_records_the_funnel(self, tmp_path):
+        clean = tmp_path / "clean.txt"
+        clean.write_text("0 1 1.0\n1 2 2.0\n2 3 3.0\n", encoding="utf-8")
+        telemetry.configure(tmp_path / "scan.trace.jsonl")
+        try:
+            load_trace(clean)
+        finally:
+            telemetry.shutdown()
+        trace = read_trace(tmp_path / "scan.trace.jsonl")
+        scan = next(s for s in trace.spans if s["name"] == "ingest.scan")
+        assert scan["attrs"]["events_parsed"] == 3
+        assert scan["attrs"]["events_accepted"] == 3
+        children = {c["name"] for c in trace.children.get(scan["id"], [])}
+        assert {"ingest.read_columns", "ingest.validate"} <= children
