@@ -129,8 +129,41 @@ def cmd_audit(args) -> int:
     audit_report = audit_graph(trace)
     print(audit_report.summary(), file=sys.stderr)
     clean = ingest_report.clean and audit_report.ok
+    if args.delta is not None:
+        clean = _delta_replay_audit(trace, args.delta) and clean
     print(f"{args.trace}: {'clean' if clean else 'FLAGGED'} — {trace}")
     return 0 if clean else 1
+
+
+def _delta_replay_audit(trace, batch_size: int) -> bool:
+    """Replay the trace through a DeltaGraph, auditing after every batch.
+
+    The smoke mode behind ``repro audit --delta N``: exercises the
+    incremental engine's full invariant surface (core 12 checks plus the
+    delta-structure checks) on a real trace, batch by batch.
+    """
+    from repro.graph.delta import DeltaGraph
+
+    if batch_size < 1:
+        print("[delta] --delta batch size must be >= 1", file=sys.stderr)
+        return False
+    events = list(trace.edges())
+    engine = DeltaGraph()
+    batches = 0
+    for start in range(0, len(events), batch_size):
+        engine.apply(events[start : start + batch_size])
+        batches += 1
+        report = engine.audit()
+        if not report.ok:
+            print(f"[delta] batch {batches} FAILED its audit", file=sys.stderr)
+            print(report.summary(), file=sys.stderr)
+            return False
+    print(
+        f"[delta] replayed {len(events)} events in {batches} batches, "
+        f"all audits clean",
+        file=sys.stderr,
+    )
+    return True
 
 
 def cmd_evaluate(args) -> int:
@@ -330,6 +363,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--rejects",
         help="sidecar path for quarantined lines (default: <trace>.rejects; "
         "only written under --policy quarantine)",
+    )
+    p.add_argument(
+        "--delta",
+        type=int,
+        metavar="N",
+        help="additionally replay the trace through the incremental delta "
+        "engine in batches of N events, auditing after every batch",
     )
     p.set_defaults(func=cmd_audit)
 

@@ -9,7 +9,9 @@
   engine's record of who initiated each edge;
 - :mod:`repro.extensions.incremental` — incremental maintenance of the
   candidate machinery under edge insertions, the engineering counterpart
-  of the paper's scalability discussion.
+  of the paper's scalability discussion.  The tracker itself now lives in
+  :mod:`repro.graph.delta` (alongside the full columnar delta engine);
+  this path re-exports it.
 """
 
 from repro.extensions.directed import (

@@ -8,7 +8,8 @@ both for the evolution figures (Figs. 2-4) and as meta-classifier features
 (Section 4.3), snowball sampling (Section 5.1), and plain-text trace I/O.
 """
 
-from repro.graph.audit import AuditReport, TraceAuditError, audit_graph
+from repro.graph.audit import AuditReport, TraceAuditError, audit_delta, audit_graph
+from repro.graph.delta import DeltaGraph, DeltaReport, IncrementalNeighborhood
 from repro.graph.dyngraph import TemporalGraph
 from repro.graph.sampling import snowball_sample
 from repro.graph.snapshots import Snapshot, snapshot_sequence
@@ -24,4 +25,8 @@ __all__ = [
     "AuditReport",
     "TraceAuditError",
     "audit_graph",
+    "audit_delta",
+    "DeltaGraph",
+    "DeltaReport",
+    "IncrementalNeighborhood",
 ]

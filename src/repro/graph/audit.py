@@ -228,6 +228,135 @@ def audit_graph(trace: TemporalGraph, snapshot_check: bool = True) -> AuditRepor
     return report
 
 
+def audit_delta(delta) -> AuditReport:
+    """Audit a :class:`~repro.graph.delta.DeltaGraph` after a batch.
+
+    Runs the full 12-check :func:`audit_graph` pass over the wrapped trace
+    (which, because the delta engine installs its patched caches, also
+    vets the incrementally maintained :class:`StreamIndex` — e.g. a forged
+    ``first_seen`` fires ``first_seen_consistent``), then cross-checks
+    every delta-owned structure against a from-scratch recompute off the
+    event columns: cache installation, CSR adjacency keys, degrees,
+    last-activity column, and the candidate set with its CN counts.
+    """
+    import scipy.sparse as sp
+
+    from repro.utils.pairs import PAIR_POSITION_SHIFT
+
+    trace = delta.trace
+    report = audit_graph(trace)
+    n_events = trace.num_edges
+
+    # -- delta cache installation ---------------------------------------
+    cols = trace.columns()
+    installed = (
+        cols[0] is delta._cu
+        and cols[1] is delta._cv
+        and cols[2] is delta._ct
+        and len(delta._ct) == n_events
+    )
+    _check(
+        report, "delta_columns_installed",
+        not installed,
+        lambda _i: (
+            "the trace's column cache is not the delta engine's maintained "
+            "arrays (stale or bypassed _install_stream_caches)"
+        ),
+    )
+
+    if n_events:
+        index = trace.stream_index()
+        eu = np.searchsorted(index.node_ids, cols[0])
+        ev = np.searchsorted(index.node_ids, cols[1])
+        n = len(index.node_ids)
+
+        # -- CSR adjacency keys -----------------------------------------
+        expected_keys = np.sort(
+            np.concatenate(
+                (
+                    eu * PAIR_POSITION_SHIFT + ev,
+                    ev * PAIR_POSITION_SHIFT + eu,
+                )
+            )
+        )
+        _check(
+            report, "delta_csr_adjacency",
+            not np.array_equal(delta._adj_keys, expected_keys),
+            lambda _i: (
+                f"maintained adjacency keys diverge from the event columns "
+                f"({len(delta._adj_keys)} keys, expected {len(expected_keys)})"
+            ),
+        )
+
+        # -- degree column ----------------------------------------------
+        expected_deg = np.bincount(
+            np.concatenate((eu, ev)), minlength=n
+        ).astype(np.int64)
+        _check(
+            report, "delta_degrees",
+            not (
+                len(delta._deg) == n
+                and np.array_equal(delta._deg, expected_deg)
+            ),
+            lambda _i: "maintained degree column diverges from the stream",
+        )
+
+        # -- last-activity column ---------------------------------------
+        expected_last = np.full(n, -np.inf)
+        np.maximum.at(expected_last, eu, cols[2])
+        np.maximum.at(expected_last, ev, cols[2])
+        _check(
+            report, "delta_last_active",
+            not (
+                len(delta._last_active) == n
+                and np.array_equal(delta._last_active, expected_last)
+            ),
+            lambda _i: "maintained last-activity column diverges from the stream",
+        )
+
+        # -- candidate set + CN counts ----------------------------------
+        matrix = sp.csr_matrix(
+            (
+                np.ones(2 * n_events, dtype=np.float64),
+                (np.concatenate((eu, ev)), np.concatenate((ev, eu))),
+            ),
+            shape=(n, n),
+        )
+        product = sp.triu(matrix @ matrix, k=1).tocoo()
+        rows, cs, vals = product.row, product.col, product.data
+        if len(rows):
+            connected = np.asarray(matrix[rows, cs]).ravel() > 0
+            keep = (~connected) & (vals != 0)
+            rows, cs, vals = rows[keep], cs[keep], vals[keep]
+        order = np.lexsort((cs, rows))
+        expected_cand = (
+            rows[order].astype(np.int64) * PAIR_POSITION_SHIFT
+            + cs[order].astype(np.int64)
+        )
+        expected_cn = vals[order].astype(np.int64)
+        _check(
+            report, "delta_candidates",
+            not (
+                np.array_equal(delta._cand_keys, expected_cand)
+                and np.array_equal(delta._cand_cn, expected_cn)
+            ),
+            lambda _i: (
+                f"maintained candidate set / CN counts diverge "
+                f"({len(delta._cand_keys)} pairs, expected {len(expected_cand)})"
+            ),
+        )
+    else:
+        report.checks_run.extend(
+            [
+                "delta_csr_adjacency",
+                "delta_degrees",
+                "delta_last_active",
+                "delta_candidates",
+            ]
+        )
+    return report
+
+
 def require_clean(trace: TemporalGraph, context: str = "") -> None:
     """Raise :class:`TraceAuditError` if the graph fails its audit."""
     report = audit_graph(trace)

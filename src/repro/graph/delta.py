@@ -1,0 +1,771 @@
+"""Incremental delta engine over the columnar temporal core.
+
+The paper evaluates on static prefix snapshots, but its central empirical
+observation — new edges form almost entirely inside the 2-hop neighbourhood
+of recently active nodes (Sections 4.2 and 6) — is exactly the locality
+that makes *incremental* maintenance cheap.  :class:`DeltaGraph` wraps a
+:class:`~repro.graph.dyngraph.TemporalGraph` and, per applied edge batch,
+updates every derived columnar structure in place instead of rebuilding:
+
+- the ``u``/``v``/``t`` event columns and the :class:`StreamIndex` remap
+  (``node_ids``, dense endpoint columns, ``first_seen``), re-installed into
+  the trace's caches so plain :class:`~repro.graph.snapshots.Snapshot`
+  construction never re-derives them;
+- CSR adjacency, degree, and last-activity columns, repaired only for the
+  touched rows;
+- the unconnected 2-hop candidate set with exact common-neighbour counts,
+  maintained in ``O(deg(u) + deg(v))`` bump work per inserted edge;
+- cached CN/AA/RA score tables, refreshed lazily for the *dirty region*
+  only: pairs whose CN count changed, plus candidate pairs with both
+  endpoints adjacent to a node whose degree changed since the last flush
+  (a changed intermediate ``w`` of pair ``(a, b)`` implies ``a, b ∈ N(w)``,
+  so the union of changed-node neighbourhoods covers every stale score).
+
+``materialize()`` returns a snapshot **byte-identical** to a full rebuild
+at the same cutoff — columns, CSR structure, candidate enumeration order,
+and metric scores.  Two properties make the score tables bitwise-stable
+rather than merely close: common-neighbour counts are maintained as exact
+integers (every float64 in ``A @ A`` is an integer below 2^53), and dirty
+AA/RA entries are recomputed through *row-sliced* sparse products
+``A[R] @ diag(w) @ A`` whose per-entry accumulation order is identical to
+the full product's (scipy's CSR matmul accumulates left-to-right over
+ascending intermediate columns, and row slicing preserves rows verbatim).
+``tests/test_delta_equivalence.py`` enforces this on randomized streams.
+
+Candidate pairs and score tables are keyed by packed ``row * S + col``
+position keys (:data:`~repro.utils.pairs.PAIR_POSITION_SHIFT`): integer
+keys sort exactly like row-major ``(row, col)`` tuples, and because node
+insertion remaps positions *monotonically*, patching a key array after new
+nodes arrive is a decode / gather / re-encode — never a re-sort.
+
+:class:`IncrementalNeighborhood` — the dictionary-based streaming tracker
+this module grew out of (formerly ``repro.extensions.incremental``) —
+lives here too and remains the lightweight id-space option when only CN
+counts are needed; ``repro.extensions.incremental`` re-exports it.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro import telemetry
+from repro.graph.dyngraph import StreamIndex, TemporalGraph
+from repro.graph.snapshots import Snapshot, _isin_sorted
+from repro.telemetry.metrics import SIZE_BUCKETS
+from repro.utils.pairs import (
+    PAIR_POSITION_SHIFT,
+    Pair,
+    canonical_pair,
+    decode_position_pairs,
+    encode_position_pairs,
+)
+
+#: names the delta engine can keep warm score tables for.
+TRACKABLE_SCORES = ("CN", "AA", "RA")
+
+
+@dataclass(frozen=True)
+class DeltaReport:
+    """Outcome of one :meth:`DeltaGraph.apply` batch."""
+
+    #: edges actually inserted into the stream.
+    applied: int
+    #: events skipped because the pair already existed.
+    duplicates: int
+    #: events skipped because ``u == v``.
+    self_loops: int
+    #: node ids first seen in this batch.
+    new_nodes: int
+    #: candidate pairs currently awaiting a score refresh.
+    dirty_pairs: int
+    #: nodes whose degree changed since the last score flush.
+    dirty_nodes: int
+    #: size of the maintained unconnected 2-hop candidate set.
+    candidates: int
+
+
+def _frozen(arr: np.ndarray) -> np.ndarray:
+    arr.flags.writeable = False
+    return arr
+
+
+class DeltaGraph:
+    """Incrementally maintained columnar state over a growing trace.
+
+    All positional arrays live in the dense position space of the sorted
+    ``_node_ids`` table; ``_adj_keys`` holds the *doubled* adjacency as
+    sorted packed keys (one ``row*S+col`` per direction — exactly the CSR
+    ``indices`` column with its ``indptr`` implied by ``cumsum(_deg)``),
+    and ``_cand_keys``/``_cand_cn`` the sorted unconnected 2-hop pairs
+    with exact common-neighbour counts.  The graph-integrity auditor
+    (:func:`repro.graph.audit.audit_delta`) recomputes every one of these
+    structures from the event columns and cross-checks them.
+    """
+
+    def __init__(
+        self,
+        trace: "TemporalGraph | None" = None,
+        *,
+        track_scores: "tuple[str, ...]" = TRACKABLE_SCORES,
+    ) -> None:
+        unknown = [n for n in track_scores if n not in TRACKABLE_SCORES]
+        if unknown:
+            raise ValueError(
+                f"untrackable score names {unknown}; choose from {TRACKABLE_SCORES}"
+            )
+        self._tracked = tuple(track_scores)
+        self.trace = trace if trace is not None else TemporalGraph()
+        self._rebuild_from_trace()
+
+    # ------------------------------------------------------------------
+    # Initial build (vectorised, reuses the batch machinery once)
+    # ------------------------------------------------------------------
+    def _rebuild_from_trace(self) -> None:
+        """Derive every maintained structure from the wrapped trace.
+
+        Runs the proven batch kernels (stream index, ``A @ A`` products)
+        exactly once; from here on :meth:`apply` keeps the state current
+        without ever rebuilding.
+        """
+        trace = self.trace
+        num_edges = trace.num_edges
+        self._cu, self._cv, self._ct = trace.columns()
+        empty_i = _frozen(np.zeros(0, dtype=np.int64))
+        if num_edges == 0:
+            self._node_ids = empty_i
+            self._eu = empty_i
+            self._ev = empty_i
+            self._first_seen = empty_i
+            self._deg = np.zeros(0, dtype=np.int64)
+            self._last_active = np.zeros(0, dtype=np.float64)
+            self._adj_keys = np.zeros(0, dtype=np.int64)
+            self._cand_keys = np.zeros(0, dtype=np.int64)
+            self._cand_cn = np.zeros(0, dtype=np.int64)
+            self._scores = {
+                name: np.zeros(0, dtype=np.float64)
+                for name in self._tracked
+                if name != "CN"
+            }
+            self._dirty = np.zeros(0, dtype=bool)
+            self._dirty_nodes: set[int] = set()
+            return
+        index = trace.stream_index()
+        if len(index.node_ids) >= PAIR_POSITION_SHIFT:
+            raise ValueError(
+                f"node table too large for packed pair keys "
+                f"({len(index.node_ids)} >= 2^31)"
+            )
+        self._node_ids = index.node_ids
+        self._eu = index.eu
+        self._ev = index.ev
+        self._first_seen = index.first_seen
+        n = len(index.node_ids)
+        doubled_rows = np.concatenate((index.eu, index.ev))
+        doubled_cols = np.concatenate((index.ev, index.eu))
+        self._adj_keys = np.sort(encode_position_pairs(doubled_rows, doubled_cols))
+        self._deg = np.bincount(doubled_rows, minlength=n).astype(np.int64)
+        last = np.full(n, -np.inf)
+        np.maximum.at(last, index.eu, self._ct)
+        np.maximum.at(last, index.ev, self._ct)
+        self._last_active = last
+        # Candidate set + warm score tables via the batch path (cached on a
+        # throwaway snapshot; the metric code computes the same products a
+        # full rebuild would, so the seeded values are bitwise-canonical).
+        from repro.metrics.base import (
+            matrix_values,
+            pairs_to_indices,
+            two_hop_matrix,
+        )
+        from repro.metrics.candidates import two_hop_pairs
+        from repro.metrics.local import (
+            inv_degree_weights,
+            inv_log_degree_weights,
+            weighted_two_hop,
+        )
+
+        snap = Snapshot(trace, num_edges)
+        pairs = two_hop_pairs(snap)
+        rows, cols = pairs_to_indices(snap, pairs)
+        self._cand_keys = encode_position_pairs(rows, cols)
+        self._cand_cn = matrix_values(two_hop_matrix(snap), rows, cols).astype(
+            np.int64
+        )
+        self._scores = {}
+        weight_fns = {"AA": inv_log_degree_weights, "RA": inv_degree_weights}
+        degrees = self._deg.astype(np.float64)
+        for name in self._tracked:
+            if name == "CN":
+                continue  # CN is served from the exact integer counts
+            matrix = weighted_two_hop(snap, weight_fns[name](degrees), f"{name}_mat")
+            self._scores[name] = matrix_values(matrix, rows, cols)
+        self._dirty = np.zeros(len(self._cand_keys), dtype=bool)
+        self._dirty_nodes = set()
+
+    # ------------------------------------------------------------------
+    # Basic queries
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return len(self._node_ids)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._ct)
+
+    @property
+    def num_candidates(self) -> int:
+        return len(self._cand_keys)
+
+    def __repr__(self) -> str:
+        return (
+            f"DeltaGraph(nodes={self.num_nodes}, edges={self.num_edges}, "
+            f"candidates={self.num_candidates}, "
+            f"dirty={int(np.count_nonzero(self._dirty))})"
+        )
+
+    def _check_in_sync(self) -> None:
+        if len(self._ct) != self.trace.num_edges:
+            raise RuntimeError(
+                "wrapped trace was modified outside the DeltaGraph; "
+                "construct a fresh DeltaGraph(trace) to resynchronise"
+            )
+
+    # ------------------------------------------------------------------
+    # apply()
+    # ------------------------------------------------------------------
+    def apply(self, batch: Iterable[tuple[int, int, float]]) -> DeltaReport:
+        """Insert an edge batch and update every maintained structure.
+
+        Self-loops and duplicate pairs in the stream are skipped (and
+        counted in the report); timestamps must be finite, non-negative,
+        and non-decreasing across the surviving events — validated for the
+        whole batch *before* any mutation, so a bad batch never leaves the
+        engine half-applied.
+        """
+        events = [(int(u), int(v), float(t)) for u, v, t in batch]
+        if telemetry.tracer.enabled:
+            with telemetry.tracer.span("delta.apply", events=len(events)) as span:
+                report = self._apply(events)
+                span.set(
+                    applied=report.applied,
+                    new_nodes=report.new_nodes,
+                    dirty_pairs=report.dirty_pairs,
+                )
+        else:
+            report = self._apply(events)
+        if telemetry.metrics.enabled:
+            telemetry.metrics.counter("delta.edges_applied").inc(report.applied)
+            telemetry.metrics.counter("delta.edges_skipped").inc(
+                report.duplicates + report.self_loops
+            )
+            telemetry.metrics.histogram(
+                "delta.dirty_nodes", bounds=SIZE_BUCKETS
+            ).observe(report.dirty_nodes)
+            telemetry.metrics.histogram(
+                "delta.dirty_pairs", bounds=SIZE_BUCKETS
+            ).observe(report.dirty_pairs)
+        return report
+
+    def _apply(self, events: "list[tuple[int, int, float]]") -> DeltaReport:
+        trace = self.trace
+        self._check_in_sync()
+        # All-or-nothing validation before the first mutation.
+        last = trace.end_time if trace.num_edges else None
+        for u, v, t in events:
+            if not np.isfinite(t) or t < 0:
+                raise ValueError(f"timestamp {t!r} is not finite and non-negative")
+            if u == v:
+                continue
+            if last is not None and t < last:
+                raise ValueError(
+                    f"edge timestamps must be non-decreasing: got {t} after {last}"
+                )
+            last = t
+
+        # -- phase 1: sequential stream insertion + CN bump collection ----
+        # Bumps are gathered against the *live* dict adjacency before each
+        # insertion (a new edge (u, v) creates a 2-path u-v-x per existing
+        # neighbour x of v, and v-u-x per neighbour x of u).
+        start_edges = trace.num_edges
+        pending: dict[Pair, int] = {}
+        removed: list[Pair] = []
+        applied_pairs: list[Pair] = []
+        duplicates = self_loops = 0
+        adj = trace._adj
+        edge_times = trace._edge_times
+        for u, v, t in events:
+            if u == v:
+                self_loops += 1
+                continue
+            pair = canonical_pair(u, v)
+            if pair in edge_times:
+                duplicates += 1
+                continue
+            a, b = pair
+            for x in adj.get(b, ()):
+                if x != a:
+                    p = canonical_pair(a, x)
+                    if p not in edge_times:
+                        pending[p] = pending.get(p, 0) + 1
+            for x in adj.get(a, ()):
+                if x != b:
+                    p = canonical_pair(b, x)
+                    if p not in edge_times:
+                        pending[p] = pending.get(p, 0) + 1
+            # The pair stops being a candidate the moment it becomes an edge.
+            pending.pop(pair, None)
+            removed.append(pair)
+            trace.add_edge(u, v, t)
+            applied_pairs.append(pair)
+
+        end_edges = trace.num_edges
+        if end_edges == start_edges:
+            return DeltaReport(
+                applied=0,
+                duplicates=duplicates,
+                self_loops=self_loops,
+                new_nodes=0,
+                dirty_pairs=int(np.count_nonzero(self._dirty)),
+                dirty_nodes=len(self._dirty_nodes),
+                candidates=len(self._cand_keys),
+            )
+
+        # -- phase 2: vectorised column / index / structure patching ------
+        new_u = np.asarray(trace._us[start_edges:end_edges], dtype=np.int64)
+        new_v = np.asarray(trace._vs[start_edges:end_edges], dtype=np.int64)
+        new_t = np.asarray(trace._ts[start_edges:end_edges], dtype=np.float64)
+        self._cu = _frozen(np.concatenate((self._cu, new_u)))
+        self._cv = _frozen(np.concatenate((self._cv, new_v)))
+        self._ct = _frozen(np.concatenate((self._ct, new_t)))
+
+        batch_ids = np.unique(np.concatenate((new_u, new_v)))
+        fresh = batch_ids[~_isin_sorted(batch_ids, self._node_ids)]
+        old_count = len(self._node_ids)
+        adj_keys = self._adj_keys
+        cand_keys = self._cand_keys
+        if len(fresh):
+            insert_at = np.searchsorted(self._node_ids, fresh)
+            node_ids = np.insert(self._node_ids, insert_at, fresh)
+            if len(node_ids) >= PAIR_POSITION_SHIFT:
+                raise ValueError(
+                    f"node table too large for packed pair keys "
+                    f"({len(node_ids)} >= 2^31)"
+                )
+            # Positions shift monotonically, so gathering through the
+            # old->new map patches dense columns and packed keys while
+            # preserving their sort order — no re-sort anywhere.
+            old_to_new = np.searchsorted(node_ids, self._node_ids)
+            eu = old_to_new[self._eu]
+            ev = old_to_new[self._ev]
+            if len(adj_keys):
+                r, c = decode_position_pairs(adj_keys)
+                adj_keys = encode_position_pairs(old_to_new[r], old_to_new[c])
+            if len(cand_keys):
+                r, c = decode_position_pairs(cand_keys)
+                cand_keys = encode_position_pairs(old_to_new[r], old_to_new[c])
+            deg = np.insert(self._deg, insert_at, 0)
+            last_active = np.insert(self._last_active, insert_at, -np.inf)
+            old_positions = old_to_new
+        else:
+            node_ids = self._node_ids
+            eu, ev = self._eu, self._ev
+            deg, last_active = self._deg, self._last_active
+            old_positions = None
+
+        count = len(node_ids)
+        batch_eu = np.searchsorted(node_ids, new_u)
+        batch_ev = np.searchsorted(node_ids, new_v)
+        eu = _frozen(np.concatenate((eu, batch_eu)))
+        ev = _frozen(np.concatenate((ev, batch_ev)))
+
+        # first_seen: scatter the old table, then fold in batch positions.
+        first_seen = np.full(count, end_edges, dtype=np.int64)
+        if old_count:
+            if old_positions is None:
+                first_seen[:old_count] = self._first_seen
+            else:
+                first_seen[old_positions] = self._first_seen
+        batch_order = np.arange(start_edges, end_edges, dtype=np.int64)
+        np.minimum.at(first_seen, batch_eu, batch_order)
+        np.minimum.at(first_seen, batch_ev, batch_order)
+        first_seen = _frozen(first_seen)
+
+        np.add.at(deg, batch_eu, 1)
+        np.add.at(deg, batch_ev, 1)
+        np.maximum.at(last_active, batch_eu, new_t)
+        np.maximum.at(last_active, batch_ev, new_t)
+
+        # CSR repair: splice both directions of each new edge into the
+        # sorted key array — only the touched rows move.
+        added = np.concatenate(
+            (
+                encode_position_pairs(batch_eu, batch_ev),
+                encode_position_pairs(batch_ev, batch_eu),
+            )
+        )
+        added.sort()
+        adj_keys = np.insert(adj_keys, np.searchsorted(adj_keys, added), added)
+
+        # Candidate set: drop pairs that just became edges, then apply the
+        # collected CN bumps (new candidates enter dirty with score 0).
+        cand_cn, dirty = self._cand_cn, self._dirty
+        scores = self._scores
+        if removed:
+            removed_arr = np.asarray(removed, dtype=np.int64)
+            removed_keys = encode_position_pairs(
+                np.searchsorted(node_ids, removed_arr[:, 0]),
+                np.searchsorted(node_ids, removed_arr[:, 1]),
+            )
+            pos = np.searchsorted(cand_keys, removed_keys)
+            safe = np.minimum(pos, max(len(cand_keys) - 1, 0))
+            member = (
+                (pos < len(cand_keys)) & (cand_keys[safe] == removed_keys)
+                if len(cand_keys)
+                else np.zeros(len(removed_keys), dtype=bool)
+            )
+            drop = pos[member]
+            if len(drop):
+                cand_keys = np.delete(cand_keys, drop)
+                cand_cn = np.delete(cand_cn, drop)
+                dirty = np.delete(dirty, drop)
+                scores = {
+                    name: np.delete(arr, drop) for name, arr in scores.items()
+                }
+        if pending:
+            pend_arr = np.asarray(list(pending.keys()), dtype=np.int64)
+            pend_delta = np.asarray(list(pending.values()), dtype=np.int64)
+            pend_keys = encode_position_pairs(
+                np.searchsorted(node_ids, pend_arr[:, 0]),
+                np.searchsorted(node_ids, pend_arr[:, 1]),
+            )
+            order = np.argsort(pend_keys)
+            pend_keys, pend_delta = pend_keys[order], pend_delta[order]
+            pos = np.searchsorted(cand_keys, pend_keys)
+            safe = np.minimum(pos, max(len(cand_keys) - 1, 0))
+            member = (
+                (pos < len(cand_keys)) & (cand_keys[safe] == pend_keys)
+                if len(cand_keys)
+                else np.zeros(len(pend_keys), dtype=bool)
+            )
+            bump_at = pos[member]
+            cand_cn[bump_at] += pend_delta[member]
+            dirty[bump_at] = True
+            enter_keys = pend_keys[~member]
+            if len(enter_keys):
+                enter_at = np.searchsorted(cand_keys, enter_keys)
+                cand_keys = np.insert(cand_keys, enter_at, enter_keys)
+                cand_cn = np.insert(cand_cn, enter_at, pend_delta[~member])
+                dirty = np.insert(dirty, enter_at, True)
+                scores = {
+                    name: np.insert(arr, enter_at, 0.0)
+                    for name, arr in scores.items()
+                }
+
+        for a, b in applied_pairs:
+            self._dirty_nodes.add(a)
+            self._dirty_nodes.add(b)
+
+        # Commit and re-install the trace-level caches so every Snapshot
+        # built on this trace sees the incrementally maintained columns.
+        self._node_ids = _frozen(node_ids) if len(fresh) else node_ids
+        self._eu, self._ev, self._first_seen = eu, ev, first_seen
+        self._deg, self._last_active = deg, last_active
+        self._adj_keys = adj_keys
+        self._cand_keys, self._cand_cn, self._dirty = cand_keys, cand_cn, dirty
+        self._scores = scores
+        self.trace._install_stream_caches(
+            (self._cu, self._cv, self._ct),
+            StreamIndex(self._node_ids, eu, ev, first_seen),
+        )
+        return DeltaReport(
+            applied=end_edges - start_edges,
+            duplicates=duplicates,
+            self_loops=self_loops,
+            new_nodes=len(fresh),
+            dirty_pairs=int(np.count_nonzero(dirty)),
+            dirty_nodes=len(self._dirty_nodes),
+            candidates=len(cand_keys),
+        )
+
+    # ------------------------------------------------------------------
+    # Score flush (lazy: runs on materialize / explicit flush)
+    # ------------------------------------------------------------------
+    def _csr_parts(self) -> tuple[np.ndarray, np.ndarray]:
+        """Maintained CSR ``(indptr, indices)`` over node positions."""
+        indptr = np.concatenate(
+            (np.zeros(1, dtype=np.int64), np.cumsum(self._deg, dtype=np.int64))
+        )
+        return indptr, self._adj_keys % PAIR_POSITION_SHIFT
+
+    def flush_scores(self) -> int:
+        """Refresh the score tables for the dirty region; returns its size.
+
+        The dirty region is *exact*: pairs explicitly CN-bumped since the
+        last flush, plus pairs with a changed-degree node among their
+        common neighbours — found by sampling ``(A[W])^T (A[W])``, whose
+        ``(a, b)`` entry counts changed nodes adjacent to both ``a`` and
+        ``b`` (edges are only added, so a changed common neighbour is
+        adjacent to both endpoints after the batch too).  Entries are
+        recomputed through row-sliced ``A[R] @ diag(w) @ A`` products that
+        are bitwise identical to the corresponding full-product entries.
+        """
+        tracked = [name for name in self._tracked if name != "CN"]
+        refreshed = 0
+        mask = self._dirty
+        num_cand = len(self._cand_keys)
+        if num_cand and (mask.any() or self._dirty_nodes):
+            matrix = None
+            if self._dirty_nodes:
+                changed = np.asarray(sorted(self._dirty_nodes), dtype=np.int64)
+                positions = np.searchsorted(self._node_ids, changed)
+                indptr, indices = self._csr_parts()
+                matrix = sp.csr_matrix(
+                    (np.ones(len(indices), dtype=np.float64), indices, indptr),
+                    shape=(self.num_nodes, self.num_nodes),
+                )
+                changed_rows = matrix[positions]
+                covered = sp.triu(
+                    (changed_rows.T @ changed_rows).tocsr(), k=1
+                ).tocoo()
+                live = covered.data > 0  # guard explicit zeros
+                if np.any(live):
+                    keys = encode_position_pairs(
+                        covered.row[live], covered.col[live]
+                    )
+                    pos = np.searchsorted(self._cand_keys, keys)
+                    safe = np.minimum(pos, num_cand - 1)
+                    member = (pos < num_cand) & (
+                        self._cand_keys[safe] == keys
+                    )
+                    mask[pos[member]] = True
+            refreshed = int(np.count_nonzero(mask))
+            if refreshed and tracked:
+                from repro.metrics.local import (
+                    inv_degree_weights,
+                    inv_log_degree_weights,
+                )
+
+                dirty_rows, dirty_cols = decode_position_pairs(
+                    self._cand_keys[mask]
+                )
+                row_set = np.unique(dirty_rows)
+                if matrix is None:
+                    indptr, indices = self._csr_parts()
+                    matrix = sp.csr_matrix(
+                        (
+                            np.ones(len(indices), dtype=np.float64),
+                            indices,
+                            indptr,
+                        ),
+                        shape=(self.num_nodes, self.num_nodes),
+                    )
+                degrees = self._deg.astype(np.float64)
+                weight_fns = {
+                    "AA": inv_log_degree_weights,
+                    "RA": inv_degree_weights,
+                }
+                sliced = matrix[row_set]
+                local_rows = np.searchsorted(row_set, dirty_rows)
+                for name in tracked:
+                    weights = weight_fns[name](degrees)
+                    product = (sliced @ sp.diags(weights) @ matrix).tocsr()
+                    self._scores[name][mask] = (
+                        np.asarray(product[local_rows, dirty_cols])
+                        .ravel()
+                        .astype(np.float64)
+                    )
+        self._dirty = np.zeros(num_cand, dtype=bool)
+        self._dirty_nodes.clear()
+        return refreshed
+
+    # ------------------------------------------------------------------
+    # materialize()
+    # ------------------------------------------------------------------
+    def materialize(self) -> Snapshot:
+        """A full-cutoff snapshot seeded entirely from maintained state.
+
+        Byte-identical to ``Snapshot(rebuilt_trace, num_edges)`` plus its
+        lazily built structure and metric caches: node table, position
+        columns, CSR adjacency, candidate enumeration (``pairs_two_hop``),
+        CN/AA/RA score tables, and the vectorised idle-time column.
+        """
+        self._check_in_sync()
+        if self.num_edges == 0:
+            raise ValueError("cannot materialize a snapshot of an empty stream")
+        if telemetry.tracer.enabled:
+            with telemetry.tracer.span(
+                "delta.materialize", nodes=self.num_nodes, edges=self.num_edges
+            ):
+                snapshot = self._materialize()
+            telemetry.metrics.counter("delta.materializations").inc()
+            return snapshot
+        return self._materialize()
+
+    def _materialize(self) -> Snapshot:
+        self.flush_scores()
+        snapshot = Snapshot(self.trace, self.num_edges)
+        snapshot._ids = self._node_ids
+        snapshot._iu = self._eu
+        snapshot._iv = self._ev
+        indptr, indices = self._csr_parts()
+        snapshot._indptr = indptr
+        snapshot._indices = indices
+        snapshot._deg = self._deg.copy()
+        from repro.metrics.candidates import seed_candidate_cache
+        from repro.metrics.local import DELTA_SCORES_KEY
+
+        if len(self._cand_keys):
+            rows, cols = decode_position_pairs(self._cand_keys)
+            pairs = np.column_stack((self._node_ids[rows], self._node_ids[cols]))
+        else:
+            pairs = np.zeros((0, 2), dtype=np.int64)
+        seed_candidate_cache(snapshot, pairs)
+        table: dict = {"keys": self._cand_keys.copy()}
+        if "CN" in self._tracked:
+            table["CN"] = self._cand_cn.astype(np.float64)
+        for name, values in self._scores.items():
+            table[name] = values.copy()
+        snapshot.cache[DELTA_SCORES_KEY] = table
+        # now - last is exactly the activity kernel's subtraction; every
+        # stream node has an edge at or before the snapshot time, so the
+        # never-active fallback cannot trigger at full cutoff.
+        snapshot.cache["node_idle_times"] = snapshot.time - self._last_active
+        return snapshot
+
+    # ------------------------------------------------------------------
+    # Audit / pickling
+    # ------------------------------------------------------------------
+    def audit(self):
+        """Run the 12 core invariants plus the delta-structure checks."""
+        from repro.graph.audit import audit_delta
+
+        return audit_delta(self)
+
+    def __getstate__(self) -> dict:
+        # The trace's compact stream pickle is the whole state; every
+        # maintained array is re-derived (bitwise, by the flush/product
+        # equivalence) on load, which also folds in any pending dirtiness.
+        return {"trace": self.trace, "track_scores": self._tracked}
+
+    def __setstate__(self, state: dict) -> None:
+        self.__init__(state["trace"], track_scores=state["track_scores"])
+
+
+class IncrementalNeighborhood:
+    """Streaming adjacency + common-neighbour counts for non-edges.
+
+    The dictionary-based, raw-id-space tracker the delta engine grew from:
+    it maintains, under ``add_edge``, adjacency, degrees, and the CN count
+    of every unconnected 2-hop pair in ``O(deg(u) + deg(v))`` per inserted
+    edge — the lightweight option when only CN counts are needed and no
+    columnar snapshot will ever be materialised.
+    """
+
+    def __init__(self) -> None:
+        self._adj: dict[int, set[int]] = {}
+        self._edges: set[Pair] = set()
+        #: unconnected pair -> number of common neighbours (> 0 only).
+        self._cn: dict[Pair, int] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return len(self._adj)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._edges)
+
+    def degree(self, node: int) -> int:
+        return len(self._adj.get(node, ()))
+
+    def has_edge(self, u: int, v: int) -> bool:
+        return canonical_pair(u, v) in self._edges
+
+    def common_neighbors(self, u: int, v: int) -> int:
+        """CN count of an unconnected pair (0 if beyond two hops)."""
+        if self.has_edge(u, v):
+            raise ValueError(f"({u}, {v}) is an edge, not a candidate")
+        return self._cn.get(canonical_pair(u, v), 0)
+
+    # ------------------------------------------------------------------
+    def _bump(self, a: int, b: int, delta: int) -> None:
+        """Adjust the CN count of candidate pair (a, b)."""
+        if a == b:
+            return
+        pair = canonical_pair(a, b)
+        if pair in self._edges:
+            return
+        value = self._cn.get(pair, 0) + delta
+        if value > 0:
+            self._cn[pair] = value
+        else:
+            self._cn.pop(pair, None)
+
+    def add_edge(self, u: int, v: int) -> bool:
+        """Insert edge (u, v); returns False if it already existed.
+
+        Updates in O(deg(u) + deg(v)): the new edge creates a new 2-path
+        u-v-x for every neighbour x of v (affecting candidate (u, x)) and
+        v-u-x for every neighbour x of u (affecting candidate (v, x)).
+        """
+        if u == v:
+            raise ValueError(f"self-loop ({u}, {u}) rejected")
+        pair = canonical_pair(u, v)
+        if pair in self._edges:
+            return False
+        self._adj.setdefault(u, set())
+        self._adj.setdefault(v, set())
+        # The pair stops being a candidate the moment it becomes an edge.
+        self._cn.pop(pair, None)
+        for x in self._adj[v]:
+            self._bump(u, x, +1)
+        for x in self._adj[u]:
+            self._bump(v, x, +1)
+        self._adj[u].add(v)
+        self._adj[v].add(u)
+        self._edges.add(pair)
+        return True
+
+    def extend(self, edges: Iterable[tuple[int, int]]) -> int:
+        """Insert edges in order; returns how many were actually new.
+
+        Duplicate pairs in the stream are skipped (and excluded from the
+        returned count) exactly as in :meth:`add_edge`; self-loops raise.
+        """
+        inserted = 0
+        for u, v in edges:
+            if self.add_edge(u, v):
+                inserted += 1
+        return inserted
+
+    # ------------------------------------------------------------------
+    def two_hop_pairs(self) -> np.ndarray:
+        """Current unconnected 2-hop pairs as an (n, 2) array."""
+        if not self._cn:
+            return np.zeros((0, 2), dtype=np.int64)
+        return np.asarray(sorted(self._cn), dtype=np.int64)
+
+    def cn_scores(self, pairs: np.ndarray) -> np.ndarray:
+        """CN scores for given candidate pairs (0 beyond two hops)."""
+        return np.fromiter(
+            (self._cn.get(canonical_pair(int(u), int(v)), 0) for u, v in pairs),
+            dtype=np.float64,
+            count=len(pairs),
+        )
+
+    def top_candidates(self, k: int) -> list[tuple[Pair, int]]:
+        """The k candidate pairs with the highest CN count.
+
+        Deterministic tie order (by pair id) — callers that need the
+        paper's random tie-breaking should use ``repro.eval.ranking`` over
+        ``two_hop_pairs()`` / ``cn_scores()`` instead.
+        """
+        if k < 0:
+            raise ValueError(f"k must be non-negative, got {k}")
+        ranked = sorted(self._cn.items(), key=lambda kv: (-kv[1], kv[0]))
+        return ranked[:k]

@@ -256,6 +256,37 @@ class TemporalGraph:
             self._index_len = n
         return self._index
 
+    def _install_stream_caches(
+        self,
+        cols: "tuple[np.ndarray, np.ndarray, np.ndarray]",
+        index: StreamIndex,
+    ) -> None:
+        """Install externally maintained column / index caches.
+
+        The delta engine (:mod:`repro.graph.delta`) patches the column
+        arrays and :class:`StreamIndex` incrementally per batch; this hook
+        lets it hand the results back so :meth:`columns` and
+        :meth:`stream_index` serve them instead of rebuilding from the raw
+        lists.  Lengths must match the current stream — the caches are
+        keyed by stream length, so a stale install would silently poison
+        every snapshot built afterwards.
+        """
+        n = len(self._us)
+        if any(len(arr) != n for arr in cols):
+            raise ValueError(
+                f"column cache length mismatch: stream has {n} events"
+            )
+        if len(index.eu) != n or len(index.ev) != n:
+            raise ValueError(
+                f"stream index length mismatch: stream has {n} events"
+            )
+        if len(index.node_ids) != len(index.first_seen):
+            raise ValueError("node_ids and first_seen lengths differ")
+        self._cols = cols
+        self._cols_len = n
+        self._index = index
+        self._index_len = n
+
     # ------------------------------------------------------------------
     # Basic queries
     # ------------------------------------------------------------------

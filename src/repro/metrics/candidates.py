@@ -27,6 +27,19 @@ def _empty_pairs() -> np.ndarray:
     return np.zeros((0, 2), dtype=np.int64)
 
 
+def seed_candidate_cache(snapshot: Snapshot, pairs: np.ndarray) -> None:
+    """Install a precomputed 2-hop candidate array into the snapshot cache.
+
+    The delta engine maintains the candidate set incrementally and seeds
+    materialised snapshots through this hook, so :func:`two_hop_pairs`
+    serves the maintained array instead of building ``A^2``.  Callers
+    guarantee the pairs match what :func:`two_hop_pairs` would compute —
+    row-major over the snapshot's node positions — which the differential
+    suite and :func:`repro.graph.audit.audit_delta` both enforce.
+    """
+    snapshot.cache["pairs_two_hop"] = pairs
+
+
 def two_hop_pairs(snapshot: Snapshot) -> np.ndarray:
     """All unconnected pairs at distance exactly 2, as node-id pairs.
 

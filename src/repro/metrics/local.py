@@ -40,25 +40,81 @@ def weighted_two_hop(snapshot: Snapshot, weights: np.ndarray, key: str) -> sp.cs
     return cached(snapshot, key, compute)
 
 
-def _safe_inv_log_degree(snapshot: Snapshot) -> np.ndarray:
+def inv_log_degree_weights(deg: np.ndarray) -> np.ndarray:
     """``1 / log(deg)`` with degree-1 nodes zeroed.
 
     A degree-1 node can never be a common neighbour of a distinct pair, so
     zeroing it changes no pair score while avoiding division by log(1)=0.
+    Shared with the delta engine so both sides build bit-identical weight
+    vectors from the same degree column.
     """
-    deg = degrees(snapshot)
     out = np.zeros_like(deg)
     mask = deg > 1
     out[mask] = 1.0 / np.log(deg[mask])
     return out
 
 
-def _safe_inv_degree(snapshot: Snapshot) -> np.ndarray:
-    deg = degrees(snapshot)
+def inv_degree_weights(deg: np.ndarray) -> np.ndarray:
+    """``1 / deg`` with isolated nodes zeroed (the RA weight vector)."""
     out = np.zeros_like(deg)
     mask = deg > 0
     out[mask] = 1.0 / deg[mask]
     return out
+
+
+def _safe_inv_log_degree(snapshot: Snapshot) -> np.ndarray:
+    return inv_log_degree_weights(degrees(snapshot))
+
+
+def _safe_inv_degree(snapshot: Snapshot) -> np.ndarray:
+    return inv_degree_weights(degrees(snapshot))
+
+
+#: snapshot-cache key under which the delta engine seeds warm score tables:
+#: ``{"keys": sorted packed position keys, "<metric>": float64 scores}``.
+DELTA_SCORES_KEY = "delta_scores"
+
+
+def has_delta_scores(snapshot: Snapshot, name: str) -> bool:
+    """True when the snapshot carries a delta-maintained table for ``name``."""
+    table = snapshot.cache.get(DELTA_SCORES_KEY)
+    return table is not None and name in table
+
+
+def delta_backed_scores(
+    snapshot: Snapshot, name: str, pairs: np.ndarray
+) -> "np.ndarray | None":
+    """Serve pair scores from the delta engine's warm table, if possible.
+
+    Returns None — and the caller falls back to the matrix path — when the
+    snapshot has no table for ``name``, a pair's endpoint is unknown, or a
+    pair is missing from the table (the table covers exactly the 2-hop
+    candidate set; anything outside it scores 0 on these metrics, but the
+    matrix path handles arbitrary pairs uniformly, so it keeps that job).
+    """
+    table = snapshot.cache.get(DELTA_SCORES_KEY)
+    if table is None or name not in table:
+        return None
+    # Fast path: scoring the snapshot's own candidate enumeration — the
+    # overwhelmingly common call — needs no key lookup at all, because the
+    # table rows are maintained in exactly that (row-major) order.
+    if pairs is snapshot.cache.get("pairs_two_hop") and len(pairs) == len(
+        table["keys"]
+    ):
+        return table[name].copy()
+    from repro.utils.pairs import encode_position_pairs
+
+    try:
+        rows, cols = pairs_to_indices(snapshot, pairs)
+    except KeyError:
+        return None
+    wanted = encode_position_pairs(rows, cols)
+    keys = table["keys"]
+    pos = np.searchsorted(keys, wanted)
+    safe = np.minimum(pos, max(len(keys) - 1, 0))
+    if len(keys) == 0 or not np.all(keys[safe] == wanted):
+        return None
+    return np.ascontiguousarray(table[name][safe])
 
 
 @register
@@ -70,11 +126,21 @@ class CommonNeighbors(SimilarityMetric):
 
     def fit(self, snapshot: Snapshot) -> "CommonNeighbors":
         self.snapshot = snapshot
-        self._matrix = two_hop_matrix(snapshot)
+        # A delta-materialised snapshot carries warm scores for the whole
+        # candidate set; skip the A^2 product until a pair falls outside it.
+        self._matrix = (
+            None if has_delta_scores(snapshot, self.name)
+            else two_hop_matrix(snapshot)
+        )
         return self
 
     def score(self, pairs: np.ndarray) -> np.ndarray:
         snapshot = self._require_fit()
+        warm = delta_backed_scores(snapshot, self.name, pairs)
+        if warm is not None:
+            return warm
+        if self._matrix is None:
+            self._matrix = two_hop_matrix(snapshot)
         rows, cols = pairs_to_indices(snapshot, pairs)
         return matrix_values(self._matrix, rows, cols)
 
@@ -111,11 +177,21 @@ class AdamicAdar(SimilarityMetric):
 
     def fit(self, snapshot: Snapshot) -> "AdamicAdar":
         self.snapshot = snapshot
-        self._matrix = weighted_two_hop(snapshot, _safe_inv_log_degree(snapshot), "AA_mat")
+        self._matrix = (
+            None if has_delta_scores(snapshot, self.name)
+            else weighted_two_hop(snapshot, _safe_inv_log_degree(snapshot), "AA_mat")
+        )
         return self
 
     def score(self, pairs: np.ndarray) -> np.ndarray:
         snapshot = self._require_fit()
+        warm = delta_backed_scores(snapshot, self.name, pairs)
+        if warm is not None:
+            return warm
+        if self._matrix is None:
+            self._matrix = weighted_two_hop(
+                snapshot, _safe_inv_log_degree(snapshot), "AA_mat"
+            )
         rows, cols = pairs_to_indices(snapshot, pairs)
         return matrix_values(self._matrix, rows, cols)
 
@@ -129,10 +205,20 @@ class ResourceAllocation(SimilarityMetric):
 
     def fit(self, snapshot: Snapshot) -> "ResourceAllocation":
         self.snapshot = snapshot
-        self._matrix = weighted_two_hop(snapshot, _safe_inv_degree(snapshot), "RA_mat")
+        self._matrix = (
+            None if has_delta_scores(snapshot, self.name)
+            else weighted_two_hop(snapshot, _safe_inv_degree(snapshot), "RA_mat")
+        )
         return self
 
     def score(self, pairs: np.ndarray) -> np.ndarray:
         snapshot = self._require_fit()
+        warm = delta_backed_scores(snapshot, self.name, pairs)
+        if warm is not None:
+            return warm
+        if self._matrix is None:
+            self._matrix = weighted_two_hop(
+                snapshot, _safe_inv_degree(snapshot), "RA_mat"
+            )
         rows, cols = pairs_to_indices(snapshot, pairs)
         return matrix_values(self._matrix, rows, cols)

@@ -14,6 +14,30 @@ import numpy as np
 
 Pair = tuple[int, int]
 
+#: Packing base for position-pair keys: ``key = row * SHIFT + col``.  The
+#: delta engine (:mod:`repro.graph.delta`) and its score tables use these
+#: keys because, with both positions below the shift, integer keys sort
+#: exactly like ``(row, col)`` tuples — the row-major order candidate
+#: enumeration guarantees — while staying safely inside int64.
+PAIR_POSITION_SHIFT = 1 << 31
+
+
+def encode_position_pairs(rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+    """Pack dense-position pairs into int64 keys sorting in row-major order.
+
+    Callers guarantee ``0 <= rows, cols < PAIR_POSITION_SHIFT`` (the delta
+    engine enforces this on its node table once, not per call).
+    """
+    rows = np.asarray(rows, dtype=np.int64)
+    cols = np.asarray(cols, dtype=np.int64)
+    return rows * PAIR_POSITION_SHIFT + cols
+
+
+def decode_position_pairs(keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Inverse of :func:`encode_position_pairs`: ``(rows, cols)`` arrays."""
+    keys = np.asarray(keys, dtype=np.int64)
+    return keys // PAIR_POSITION_SHIFT, keys % PAIR_POSITION_SHIFT
+
 
 def canonical_pair(u: int, v: int) -> Pair:
     """Return the unordered pair ``(u, v)`` in canonical (sorted) order."""

@@ -2,11 +2,20 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
+from hypothesis import settings
 
 from repro.generators import presets
 from repro.graph.dyngraph import TemporalGraph
 from repro.graph.snapshots import Snapshot, snapshot_sequence
+
+# CI runs the property suites on shared, noisy runners where a single
+# slow example would trip hypothesis's default 200 ms deadline; select
+# with HYPOTHESIS_PROFILE=ci (see .github/workflows/ci.yml).
+settings.register_profile("ci", deadline=2000)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))
 
 
 def build_trace(events) -> TemporalGraph:

@@ -151,6 +151,22 @@ class TestIncrementalNeighborhood:
         assert not inc.add_edge(1, 0)
         assert inc.num_edges == 1
 
+    def test_extend_returns_inserted_count(self):
+        inc = IncrementalNeighborhood()
+        # 4 events, one a duplicate (orientation-insensitive): 3 inserted.
+        assert inc.extend([(0, 1), (1, 2), (0, 1), (2, 0)]) == 3
+        assert inc.num_edges == 3
+        # A fully duplicate stream inserts nothing.
+        assert inc.extend([(1, 0), (2, 1)]) == 0
+        assert inc.num_edges == 3
+
+    def test_extend_raises_on_self_loop_mid_stream(self):
+        inc = IncrementalNeighborhood()
+        with pytest.raises(ValueError, match="self-loop"):
+            inc.extend([(0, 1), (2, 2), (1, 3)])
+        # Events before the bad one were applied; the rest were not.
+        assert inc.num_edges == 1
+
     def test_self_loop_rejected(self):
         with pytest.raises(ValueError):
             IncrementalNeighborhood().add_edge(2, 2)

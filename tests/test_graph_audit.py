@@ -166,6 +166,84 @@ class TestBrokenInvariants:
 
 
 # ---------------------------------------------------------------------------
+# Delta-engine audit: clean engines pass, each corrupted structure is named
+# ---------------------------------------------------------------------------
+class TestDeltaAudit:
+    @pytest.fixture()
+    def delta(self, graph):
+        from repro.graph.delta import DeltaGraph
+
+        events = list(graph.edges())
+        engine = DeltaGraph()
+        engine.apply(events[: len(events) // 2])
+        engine.apply(events[len(events) // 2 :])
+        return engine
+
+    def test_clean_delta_passes_all_checks(self, delta):
+        from repro.graph import audit_delta
+
+        report = audit_delta(delta)
+        assert report.ok, report.summary()
+        # the 12 core invariants plus the 5 delta-structure checks.
+        assert len(report.checks_run) == 17
+
+    def test_empty_delta_is_clean(self):
+        from repro.graph import DeltaGraph, audit_delta
+
+        report = audit_delta(DeltaGraph())
+        assert report.ok
+        assert len(report.checks_run) == 17
+
+    def test_stale_csr_row(self, delta):
+        delta._adj_keys = delta._adj_keys.copy()
+        delta._adj_keys[0] += 1
+        assert "delta_csr_adjacency" in violated(delta.audit())
+
+    def test_orphan_candidate_pair(self, delta):
+        # Forge a candidate entry for a pair that is actually an edge.
+        key = int(delta._adj_keys[0])
+        at = int(np.searchsorted(delta._cand_keys, key))
+        delta._cand_keys = np.insert(delta._cand_keys, at, key)
+        delta._cand_cn = np.insert(delta._cand_cn, at, 1)
+        delta._dirty = np.insert(delta._dirty, at, False)
+        delta._scores = {
+            name: np.insert(arr, at, 0.0)
+            for name, arr in delta._scores.items()
+        }
+        assert "delta_candidates" in violated(delta.audit())
+
+    def test_wrong_cn_count(self, delta):
+        delta._cand_cn = delta._cand_cn.copy()
+        delta._cand_cn[0] += 1
+        assert "delta_candidates" in violated(delta.audit())
+
+    def test_wrong_degree(self, delta):
+        delta._deg = delta._deg.copy()
+        delta._deg[0] += 1
+        assert "delta_degrees" in violated(delta.audit())
+
+    def test_wrong_last_active(self, delta):
+        delta._last_active = delta._last_active.copy()
+        delta._last_active[0] -= 1.0
+        assert "delta_last_active" in violated(delta.audit())
+
+    def test_wrong_first_seen(self, delta):
+        forged = delta._first_seen.copy()
+        forged[0] += 1
+        delta.trace._install_stream_caches(
+            (delta._cu, delta._cv, delta._ct),
+            StreamIndex(delta._node_ids, delta._eu, delta._ev, forged),
+        )
+        assert "first_seen_consistent" in violated(delta.audit())
+
+    def test_uninstalled_column_cache(self, delta):
+        # Replacing a maintained column with a copy breaks the identity
+        # between the engine's arrays and the trace's cache.
+        delta._cu = delta._cu.copy()
+        assert "delta_columns_installed" in violated(delta.audit())
+
+
+# ---------------------------------------------------------------------------
 # require_clean and the experiment-runner pre-flight
 # ---------------------------------------------------------------------------
 class TestRequireClean:
