@@ -10,7 +10,7 @@ for the extension.
 import numpy as np
 
 from benchmarks.conftest import write_result
-from repro.extensions.incremental import IncrementalNeighborhood
+from repro.graph.delta import IncrementalNeighborhood
 from repro.graph.snapshots import Snapshot
 from repro.metrics.candidates import two_hop_pairs
 

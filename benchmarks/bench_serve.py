@@ -1,0 +1,211 @@
+"""Traffic-replay load bench for ``repro serve``: overload must shed, not wedge.
+
+Drives concurrent **open-loop** load — arrivals scheduled on a fixed
+clock, never gated on completions, the way real traffic behaves — at
+three rates against an in-process :class:`~repro.serve.ServerHarness`:
+below capacity, at capacity, and well past saturation.  Service time is
+made deterministic by installing a :class:`~repro.eval.faults.FaultPlan`
+delay on the ``serve.predict`` fault point, so "capacity" is a known
+quantity (``workers / service_s``) rather than a machine-dependent one.
+
+Two robustness invariants are asserted before any number is written:
+
+- **Bounded overload**: at the saturating rate the server sheds with
+  ``429`` (reject-newest admission) instead of queueing unboundedly —
+  the shed rate at the top level must be positive, and every response
+  is an explicit verdict (200/429/504), never a hang.
+- **Deadline honesty**: no request the server *accepted* (status 200)
+  took longer than its deadline budget, measured from the client side.
+  Admission control exists precisely so accepted work finishes in time.
+
+Per-level results — p50/p99 latency, throughput, shed rate — go to
+``BENCH_serve.json`` at the repo root via the shared writer in
+``benchmarks/_common.py`` (schema v1).  ``--smoke`` runs fewer requests
+per level but still asserts both invariants and still writes the JSON,
+so CI exercises the full reporting path.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py          # full replay
+    PYTHONPATH=src python benchmarks/bench_serve.py --smoke  # CI-sized
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from _common import build_report, write_report
+from repro.eval.faults import FaultPlan, clear as clear_faults, install as install_faults
+from repro.generators import presets
+from repro.serve import ServeConfig, ServerHarness, request
+
+#: injected per-lookup service time — makes capacity deterministic.
+SERVICE_S = 0.025
+WORKERS = 2
+QUEUE_SIZE = 16
+#: generous next to the worst honest wait (queue_size/workers * service
+#: + service ≈ 0.23 s), so a 200 that breaches it is a real violation.
+DEADLINE_S = 2.0
+#: capacity in requests/s: WORKERS / SERVICE_S = 80.
+CAPACITY_RPS = WORKERS / SERVICE_S
+#: (label, rate multiplier vs capacity) — below, at, and past saturation.
+LEVELS = [("0.5x", 0.5), ("1.0x", 1.0), ("2.5x", 2.5)]
+
+
+async def _one(host: str, port: int, target: str, arrival: float):
+    """Fire one request at its scheduled arrival; (status, latency_s)."""
+    delay = arrival - asyncio.get_running_loop().time()
+    if delay > 0:
+        await asyncio.sleep(delay)
+    started = time.perf_counter()
+    response = await request(
+        host, port, "GET", target, timeout=DEADLINE_S + 10.0
+    )
+    return response.status, time.perf_counter() - started
+
+
+async def _replay(host: str, port: int, rate_rps: float, total: int, nodes):
+    """Open-loop replay: ``total`` arrivals at ``rate_rps``, never gated."""
+    loop = asyncio.get_running_loop()
+    interval = 1.0 / rate_rps
+    epoch = loop.time() + 0.05
+    tasks = [
+        asyncio.ensure_future(
+            _one(
+                host,
+                port,
+                f"/predict?u={nodes[i % len(nodes)]}&k=5&metric=RA",
+                epoch + i * interval,
+            )
+        )
+        for i in range(total)
+    ]
+    started = time.perf_counter()
+    results = await asyncio.gather(*tasks)
+    return results, time.perf_counter() - started
+
+
+def _probe_nodes(trace, count: int = 8):
+    u, v, _t = trace.columns()
+    ids, freq = np.unique(np.concatenate([u, v]), return_counts=True)
+    order = np.argsort(-freq, kind="stable")
+    return [int(ids[i]) for i in order[:count]]
+
+
+def run_level(harness, label: str, rate_rps: float, total: int, nodes) -> dict:
+    results, wall_s = asyncio.run(
+        _replay(harness.host, harness.port, rate_rps, total, nodes)
+    )
+    counts = {}
+    ok_latencies = []
+    for status, latency_s in results:
+        counts[status] = counts.get(status, 0) + 1
+        if status == 200:
+            ok_latencies.append(latency_s)
+    ok = counts.get(200, 0)
+    shed = counts.get(429, 0)
+    timed_out = counts.get(504, 0)
+    other = total - ok - shed - timed_out
+    assert other == 0, f"[{label}] unexpected statuses: {counts}"
+    assert ok > 0, f"[{label}] no request succeeded: {counts}"
+
+    # Deadline honesty: an accepted request never outlives its budget.
+    worst_ok_s = max(ok_latencies)
+    assert worst_ok_s <= DEADLINE_S, (
+        f"[{label}] accepted request took {worst_ok_s:.3f}s, "
+        f"deadline budget is {DEADLINE_S:.3f}s"
+    )
+
+    lat_ms = np.sort(np.asarray(ok_latencies)) * 1000.0
+    entry = {
+        "label": label,
+        "rate_rps": round(rate_rps, 1),
+        "capacity_rps": round(CAPACITY_RPS, 1),
+        "requests": total,
+        "workers": WORKERS,
+        "queue_size": QUEUE_SIZE,
+        "service_ms": SERVICE_S * 1000.0,
+        "deadline_ms": DEADLINE_S * 1000.0,
+        "ok": ok,
+        "shed": shed,
+        "deadline_504": timed_out,
+        "shed_rate": round(shed / total, 4),
+        "p50_ms": round(float(np.percentile(lat_ms, 50)), 2),
+        "p99_ms": round(float(np.percentile(lat_ms, 99)), 2),
+        "max_ok_ms": round(float(lat_ms[-1]), 2),
+        "throughput_rps": round(ok / wall_s, 1),
+        "wall_s": round(wall_s, 3),
+    }
+    print(
+        f"[{label}] {rate_rps:.0f} rps x {total}: {ok} ok, {shed} shed "
+        f"({entry['shed_rate']:.0%}), p50 {entry['p50_ms']:.1f} ms, "
+        f"p99 {entry['p99_ms']:.1f} ms, {entry['throughput_rps']:.0f} rps served"
+    )
+    return entry
+
+
+def run(per_level: int) -> dict:
+    trace = presets.facebook_like(scale=0.25, seed=7)
+    nodes = _probe_nodes(trace)
+    install_faults(
+        FaultPlan(delays={"serve.predict": (SERVICE_S, 10**9)})
+    )
+    config = ServeConfig(
+        port=0,
+        workers=WORKERS,
+        queue_size=QUEUE_SIZE,
+        deadline_s=DEADLINE_S,
+        drain_s=10.0,
+    )
+    try:
+        with ServerHarness(trace, config) as harness:
+            sizes = [
+                run_level(
+                    harness, label, CAPACITY_RPS * mult, per_level, nodes
+                )
+                for label, mult in LEVELS
+            ]
+    finally:
+        clear_faults()
+
+    # Bounded overload: the saturating level must shed, the comfortable
+    # level must not.
+    assert sizes[-1]["shed"] > 0, (
+        "saturating load produced no 429s — admission control not engaged"
+    )
+    assert sizes[0]["shed_rate"] < 0.05, (
+        f"below-capacity load shed {sizes[0]['shed_rate']:.0%} of requests"
+    )
+    return build_report("serve", sizes)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="fewer requests per level; invariants and JSON still exercised",
+    )
+    args = parser.parse_args()
+    report = run(per_level=80 if args.smoke else 300)
+    write_report(
+        report,
+        line_formatter=lambda e: (
+            f"{e['label']:>5}: {e['rate_rps']:>6.1f} rps -> "
+            f"p50 {e['p50_ms']:>7.2f} ms, p99 {e['p99_ms']:>7.2f} ms, "
+            f"shed {e['shed_rate']:.0%}, served {e['throughput_rps']:.0f} rps"
+        ),
+    )
+
+
+if __name__ == "__main__":
+    main()

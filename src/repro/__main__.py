@@ -11,6 +11,7 @@ experiment run a JSON ``ExperimentSpec`` (alias: ``run``; ``--jobs N``
            parallelises it, ``--telemetry PATH`` records a trace)
 audit      diagnose a trace file: ingest taxonomy + graph-integrity audit
 trace      inspect a recorded telemetry trace (``summary`` / ``show``)
+serve      online link-prediction HTTP service over a trace's delta engine
 
 Exit codes
 ----------
@@ -28,6 +29,7 @@ Examples
     python -m repro run --spec spec.json --jobs 8 --telemetry run.trace.jsonl
     python -m repro trace summary run.trace.jsonl
     python -m repro audit --trace crawl.txt.gz
+    python -m repro serve --trace fb.txt --port 8080 --queue-size 64
 """
 
 from __future__ import annotations
@@ -51,6 +53,39 @@ exit codes:
   2    usage, spec, or I/O error
   130  interrupted (Ctrl-C)
 """
+
+
+def _positive_int(text: str) -> int:
+    """argparse type: a strictly positive integer (bad value -> exit 2)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not an integer") from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _nonnegative_int(text: str) -> int:
+    """argparse type: an integer >= 0 (bad value -> exit 2)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not an integer") from None
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return value
+
+
+def _positive_float(text: str) -> float:
+    """argparse type: a strictly positive, finite float (bad -> exit 2)."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not a number") from None
+    if not np.isfinite(value) or value <= 0:
+        raise argparse.ArgumentTypeError(f"must be a positive number, got {text}")
+    return value
 
 
 def _load_trace(args):
@@ -311,6 +346,66 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """Run the online serving loop until SIGTERM/SIGINT, then drain.
+
+    Exit 0 when the drain completed cleanly (every in-flight request
+    finished inside the drain budget), 1 when stragglers were abandoned.
+    """
+    import asyncio
+    import signal
+
+    from repro import telemetry
+    from repro.serve import LinkPredictionServer, ScoreStore, ServeConfig
+
+    trace = _load_trace(args)
+    if args.telemetry:
+        telemetry.configure(args.telemetry, name="serve")
+    from repro.ingest import IngestPolicy
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        queue_size=args.queue_size,
+        workers=args.workers,
+        deadline_s=args.deadline_ms / 1000.0,
+        drain_s=args.drain_s,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown_s=args.breaker_cooldown_s,
+        audit_every=args.audit_every,
+        policy=args.policy,
+    )
+    store = ScoreStore(
+        trace,
+        policy=IngestPolicy.from_string(args.policy),
+        audit_every=args.audit_every,
+    )
+    server = LinkPredictionServer(store, config)
+
+    async def _run() -> bool:
+        await server.start()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(signum, server.request_shutdown)
+        # stdout contract: harnesses poll for this line to learn the port.
+        print(f"serving on http://{config.host}:{server.port}", flush=True)
+        return await server.serve_until_shutdown()
+
+    try:
+        clean = asyncio.run(_run())
+    except KeyboardInterrupt:
+        # SIGINT raced the handler installation; nothing was in flight.
+        clean = True
+    if args.telemetry:
+        telemetry.shutdown()
+        print(f"telemetry trace written to {args.telemetry}", file=sys.stderr)
+    print(
+        "drained cleanly" if clean else "drain budget exceeded; work abandoned",
+        file=sys.stderr,
+    )
+    return 0 if clean else 1
+
+
 def cmd_suggest(args) -> int:
     trace = _load_trace(args)
     delta = _default_delta(args, trace)
@@ -366,7 +461,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--delta",
-        type=int,
+        type=_positive_int,
         metavar="N",
         help="additionally replay the trace through the incremental delta "
         "engine in batches of N events, auditing after every batch",
@@ -456,6 +551,77 @@ def build_parser() -> argparse.ArgumentParser:
         "JSON (execution metadata only — never part of --out results)",
     )
     p.set_defaults(func=cmd_experiment)
+
+    p = sub.add_parser(
+        "serve",
+        help="online link-prediction HTTP service over a trace",
+        epilog=_EXIT_CODES_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    _add_trace_arguments(p)
+    p.add_argument("--host", default="127.0.0.1", help="bind address")
+    p.add_argument(
+        "--port",
+        type=_nonnegative_int,
+        default=8080,
+        help="bind port (0 = ephemeral; the bound port is printed)",
+    )
+    p.add_argument(
+        "--queue-size",
+        type=_positive_int,
+        default=64,
+        help="admission-queue bound; a full queue sheds the newest "
+        "request with 429 + Retry-After (default 64)",
+    )
+    p.add_argument(
+        "--workers",
+        type=_positive_int,
+        help="scoring worker pool size (default: $REPRO_JOBS if set, "
+        "else min(4, cpu count))",
+    )
+    p.add_argument(
+        "--deadline-ms",
+        type=_positive_float,
+        default=1000.0,
+        help="default per-request deadline budget, queue wait included "
+        "(default 1000; clients may lower it via ?deadline_ms=)",
+    )
+    p.add_argument(
+        "--drain-s",
+        type=_positive_float,
+        default=5.0,
+        help="drain budget on SIGTERM: in-flight requests get this long "
+        "before the process exits (default 5)",
+    )
+    p.add_argument(
+        "--breaker-threshold",
+        type=_positive_int,
+        default=5,
+        help="consecutive write failures that trip the circuit breaker "
+        "(reads then degrade to the last-good snapshot; default 5)",
+    )
+    p.add_argument(
+        "--breaker-cooldown-s",
+        type=_positive_float,
+        default=30.0,
+        help="seconds the tripped breaker stays open before one probe "
+        "write is allowed through (default 30)",
+    )
+    p.add_argument(
+        "--audit-every",
+        type=_nonnegative_int,
+        default=0,
+        metavar="N",
+        help="run the delta-engine integrity audit after every Nth "
+        "accepted ingest batch (0 = never; default 0)",
+    )
+    p.add_argument(
+        "--telemetry",
+        metavar="PATH",
+        help="record per-request spans + queue/latency metrics to PATH "
+        "(JSONL; also enables GET /metricz)",
+    )
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
         "trace", help="inspect a recorded telemetry trace file"

@@ -179,10 +179,22 @@ def before_cell(cell: "tuple[str, int, int]", attempt: int) -> None:
     see a *slow* cell, not an instantly-failing one), then kill, then
     scripted errors, then probabilistic errors.
     """
+    before_key(cell_key(cell), attempt)
+
+
+def before_key(key: str, attempt: int = 0) -> None:
+    """Apply the active plan to an arbitrary string-keyed operation.
+
+    The plan's tables are keyed by plain strings, so the same scripting
+    machinery drives non-cell fault points too: the serving layer calls
+    this with keys like ``"serve.predict"`` / ``"serve.ingest"`` and a
+    per-key invocation counter as ``attempt``, which makes counted
+    injections mean "sabotage the first N calls" — exactly what circuit
+    breaker and deadline tests need.
+    """
     plan = active_plan()
     if plan is None:
         return
-    key = cell_key(cell)
 
     delay = plan.delays.get(key)
     if delay is not None and attempt < delay[1]:

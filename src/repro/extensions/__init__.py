@@ -22,7 +22,10 @@ from repro.extensions.directed import (
     TransitivePaths,
     generate_directed_trace,
 )
-from repro.extensions.incremental import IncrementalNeighborhood
+
+# Canonical home; the repro.extensions.incremental shim (which warns on
+# import) re-exports the same class for legacy callers.
+from repro.graph.delta import IncrementalNeighborhood
 from repro.extensions.weighted import (
     WeightedAdamicAdar,
     WeightedCommonNeighbors,

@@ -1,15 +1,25 @@
-"""Incremental candidate maintenance under edge insertions.
+"""Deprecated import path for incremental candidate maintenance.
 
 The streaming tracker that used to live here has been promoted into the
 first-class delta engine at :mod:`repro.graph.delta`, which extends the
 same ``O(deg(u) + deg(v))``-per-edge bump idea to the full columnar state
 (stream index, CSR adjacency, cached CN/AA/RA score tables) with a
-byte-identical ``materialize()``.  This module remains the stable import
-path for the lightweight dictionary-based tracker.
+byte-identical ``materialize()``.  This module remains importable for one
+more release as a shim; new code should import from
+:mod:`repro.graph.delta` directly.
 """
 
 from __future__ import annotations
 
+import warnings
+
 from repro.graph.delta import IncrementalNeighborhood
+
+warnings.warn(
+    "repro.extensions.incremental is deprecated; import "
+    "IncrementalNeighborhood from repro.graph.delta instead",
+    DeprecationWarning,
+    stacklevel=2,
+)
 
 __all__ = ["IncrementalNeighborhood"]

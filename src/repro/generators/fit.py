@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.extensions.incremental import IncrementalNeighborhood
+from repro.graph.delta import IncrementalNeighborhood
 from repro.generators.base import GrowthConfig
 from repro.graph.dyngraph import TemporalGraph
 from repro.graph.snapshots import Snapshot

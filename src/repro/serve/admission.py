@@ -1,0 +1,111 @@
+"""Bounded admission queue with an explicit reject-newest overload policy.
+
+The server's only buffering point.  Every /predict and /ingest request
+must win a queue slot *before* any work is scheduled on its behalf;
+when the queue is full the newest request is rejected immediately with
+429 + ``Retry-After`` — the server never buffers unboundedly, so memory
+stays flat and queue wait (the latency a request inherits from the
+backlog) is bounded by ``queue_size / service_rate``.
+
+Reject-newest (rather than drop-oldest) is deliberate: the oldest
+queued requests have burned the most deadline budget already, but they
+are also the ones whose clients have waited longest and are closest to
+being served; rejecting the newcomer gives every *admitted* request an
+unchanged position and keeps the 429 decision O(1) at the door, where
+the client can still cheaply retry against another replica.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from time import monotonic
+
+
+class DeadlineExceeded(Exception):
+    """An admitted request could not finish within its deadline budget."""
+
+
+@dataclass
+class Job:
+    """One admitted unit of work travelling through the queue.
+
+    ``run`` is a zero-argument callable returning an awaitable; the
+    worker awaits it under the remaining deadline.  ``future`` carries
+    the outcome back to the connection handler, which enforces the same
+    deadline from its side — whichever side notices expiry first wins,
+    and ``abandoned`` lets a worker skip a request whose client has
+    already been answered with 504.
+    """
+
+    name: str
+    run: "object"
+    future: asyncio.Future
+    enqueued_at: float
+    deadline_at: float
+    abandoned: bool = False
+    started_at: "float | None" = None
+
+    def remaining(self, now: "float | None" = None) -> float:
+        return self.deadline_at - (monotonic() if now is None else now)
+
+
+@dataclass
+class AdmissionStats:
+    """Counters the queue maintains; exposed on /statz and as metrics."""
+
+    admitted: int = 0
+    shed: int = 0
+    expired_in_queue: int = 0
+    max_depth: int = 0
+
+
+class AdmissionQueue:
+    """A bounded FIFO of :class:`Job` with shed accounting.
+
+    ``try_admit`` never blocks: the overload decision is made at the
+    door.  Workers ``get`` jobs; the sentinel pushed by ``close`` wakes
+    each worker exactly once during drain.
+    """
+
+    _SENTINEL = object()
+
+    def __init__(self, maxsize: int) -> None:
+        if maxsize < 1:
+            raise ValueError(f"queue maxsize must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        # +workers sentinels may transiently exceed maxsize during drain;
+        # an unbounded asyncio.Queue guarded by our own bound keeps the
+        # close path free of blocking puts.
+        self._queue: asyncio.Queue = asyncio.Queue()
+        self._live = 0
+        self.stats = AdmissionStats()
+
+    @property
+    def depth(self) -> int:
+        """Number of admitted jobs not yet picked up by a worker."""
+        return self._live
+
+    def try_admit(self, job: Job) -> bool:
+        """Admit ``job`` or reject it (the caller answers 429)."""
+        if self._live >= self.maxsize:
+            self.stats.shed += 1
+            return False
+        self._live += 1
+        self.stats.admitted += 1
+        self.stats.max_depth = max(self.stats.max_depth, self._live)
+        self._queue.put_nowait(job)
+        return True
+
+    async def get(self) -> "Job | None":
+        """Next job, or None when the queue has been closed (drain)."""
+        item = await self._queue.get()
+        if item is self._SENTINEL:
+            return None
+        self._live -= 1
+        return item
+
+    def close(self, workers: int) -> None:
+        """Wake ``workers`` pending getters with a shutdown sentinel."""
+        for _ in range(workers):
+            self._queue.put_nowait(self._SENTINEL)

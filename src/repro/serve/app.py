@@ -1,0 +1,576 @@
+"""The asyncio HTTP server: overload-safe online link prediction.
+
+Request lifecycle::
+
+    accept -> parse -> [health/ready/stat/metric answered inline]
+           -> admission queue (bounded; full -> 429 + Retry-After)
+           -> worker task (bounded pool, sized off REPRO_JOBS)
+           -> score store (thread executor; writes serialised + breaker)
+           -> response (deadline enforced end to end; expiry -> 504)
+
+Robustness machinery, all explicit and separately testable:
+
+- **Admission control** (:mod:`repro.serve.admission`): one bounded
+  queue in front of all /predict and /ingest work; reject-newest with
+  429 + ``Retry-After`` once full.  Health endpoints bypass it so
+  orchestrators can still probe an overloaded server.
+- **Deadlines**: every admitted request carries a budget covering queue
+  wait *and* execution.  The connection side awaits the outcome under
+  ``asyncio.wait_for`` and answers 504 the moment the budget expires —
+  a hung score lookup can never wedge the response path.  Workers skip
+  jobs whose client was already answered.
+- **Bounded workers**: ``workers`` asyncio consumer tasks paired with a
+  same-sized thread pool for the CPU-bound scoring calls.  A lookup
+  that ignores cancellation occupies one thread until it returns, but
+  the admission bound keeps the total exposure finite.
+- **Circuit breaker** (:mod:`repro.serve.breaker`): consecutive write
+  failures open it; writes then shed fast with 503 while reads keep
+  serving the last-good snapshot with a ``X-Repro-Degraded`` header.
+  ``/readyz`` turns 503 (route traffic away), ``/healthz`` stays 200
+  (do not restart a still-useful process).
+- **Graceful drain**: SIGTERM stops the listener, lets in-flight
+  requests finish inside ``drain_s``, then flushes telemetry sinks.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from concurrent.futures import ThreadPoolExecutor
+from time import monotonic
+
+from repro import telemetry
+from repro.serve import protocol
+from repro.serve.admission import AdmissionQueue, DeadlineExceeded, Job
+from repro.serve.breaker import OPEN, BreakerOpen, CircuitBreaker
+from repro.serve.config import ServeConfig
+from repro.serve.protocol import ProtocolError, Request, error_body, json_body
+from repro.serve.store import (
+    IngestRejected,
+    ScoreStore,
+    StoreWriteError,
+    UnknownNodeError,
+)
+from repro.telemetry.metrics import SECONDS_BUCKETS
+
+#: header announcing degraded (stale-snapshot) reads while the breaker
+#: is open or half-open.
+DEGRADED_HEADER = "X-Repro-Degraded"
+
+#: (status, body, extra headers) — the shape every route handler returns.
+Response = "tuple[int, bytes, dict]"
+
+
+class ServerStats:
+    """Plain counters mirrored to /statz (and telemetry when enabled)."""
+
+    def __init__(self) -> None:
+        self.requests = 0
+        self.responses: dict[int, int] = {}
+        self.deadline_misses = 0
+        self.write_failures = 0
+        self.drained_clean: "bool | None" = None
+
+    def count(self, status: int) -> None:
+        self.responses[status] = self.responses.get(status, 0) + 1
+
+    def describe(self) -> dict:
+        return {
+            "requests": self.requests,
+            "responses": {str(k): v for k, v in sorted(self.responses.items())},
+            "deadline_misses": self.deadline_misses,
+            "write_failures": self.write_failures,
+        }
+
+
+class LinkPredictionServer:
+    """One server instance bound to a :class:`ScoreStore`."""
+
+    def __init__(self, store: ScoreStore, config: ServeConfig) -> None:
+        self.store = store
+        self.config = config
+        self.queue = AdmissionQueue(config.queue_size)
+        self.breaker = CircuitBreaker(
+            config.breaker_threshold, config.breaker_cooldown_s
+        )
+        self.stats = ServerStats()
+        self.port: "int | None" = None
+        self._executor = ThreadPoolExecutor(
+            max_workers=config.resolved_workers,
+            thread_name_prefix="repro-serve",
+        )
+        self._write_lock = asyncio.Lock()
+        self._draining = False
+        self._shutdown = asyncio.Event()
+        self._server: "asyncio.base_events.Server | None" = None
+        self._worker_tasks: "list[asyncio.Task]" = []
+        self._flusher_task: "asyncio.Task | None" = None
+        self._connections: "set[asyncio.StreamWriter]" = set()
+        # in-flight *requests* (not connections): an idle keep-alive
+        # connection must not hold up a drain.
+        self._active_requests = 0
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._started_at = monotonic()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._on_connection, self.config.host, self.config.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._worker_tasks = [
+            asyncio.ensure_future(self._worker_loop())
+            for _ in range(self.config.resolved_workers)
+        ]
+        if telemetry.tracer.enabled and self.config.telemetry_flush_s:
+            self._flusher_task = asyncio.ensure_future(self._flush_loop())
+
+    def request_shutdown(self) -> None:
+        """Signal-safe shutdown trigger (call from loop signal handlers)."""
+        self._shutdown.set()
+
+    async def serve_until_shutdown(self) -> bool:
+        """Block until :meth:`request_shutdown`, then drain; True = clean."""
+        await self._shutdown.wait()
+        return await self.drain()
+
+    async def drain(self) -> bool:
+        """Stop accepting, finish in-flight within the budget, flush.
+
+        Returns True when every in-flight request completed inside
+        ``drain_s``; False when stragglers had to be abandoned.
+        """
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        clean = True
+        try:
+            await asyncio.wait_for(self._idle.wait(), timeout=self.config.drain_s)
+        except asyncio.TimeoutError:
+            clean = False
+        # Wake connections parked in read_request (idle keep-alive peers);
+        # closing the transport EOFs their reader and ends their loop.
+        for writer in list(self._connections):
+            writer.close()
+        self.queue.close(len(self._worker_tasks))
+        for task in self._worker_tasks:
+            try:
+                await asyncio.wait_for(task, timeout=1.0)
+            except asyncio.TimeoutError:
+                task.cancel()
+                clean = False
+        if self._flusher_task is not None:
+            self._flusher_task.cancel()
+        self._executor.shutdown(wait=False)
+        self.stats.drained_clean = clean
+        telemetry.flush()
+        return clean
+
+    async def _flush_loop(self) -> None:
+        """Periodically push buffered telemetry spans to the trace sink."""
+        while True:
+            await asyncio.sleep(self.config.telemetry_flush_s)
+            telemetry.flush()
+
+    # ------------------------------------------------------------------
+    # Workers
+    # ------------------------------------------------------------------
+    async def _worker_loop(self) -> None:
+        while True:
+            job = await self.queue.get()
+            if job is None:
+                return
+            if job.abandoned or job.future.done():
+                self.queue.stats.expired_in_queue += 1
+                continue
+            now = monotonic()
+            remaining = job.remaining(now)
+            if remaining <= 0:
+                self.queue.stats.expired_in_queue += 1
+                if not job.future.done():
+                    job.future.set_exception(DeadlineExceeded(job.name))
+                continue
+            job.started_at = now
+            try:
+                result = await asyncio.wait_for(job.run(), timeout=remaining)
+            except asyncio.TimeoutError:
+                if not job.future.done():
+                    job.future.set_exception(DeadlineExceeded(job.name))
+            except Exception as exc:  # noqa: BLE001 — forwarded to the conn
+                if not job.future.done():
+                    job.future.set_exception(exc)
+            else:
+                if not job.future.done():
+                    job.future.set_result(result)
+
+    # ------------------------------------------------------------------
+    # Connections
+    # ------------------------------------------------------------------
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._connections.add(writer)
+        try:
+            while True:
+                try:
+                    request = await asyncio.wait_for(
+                        protocol.read_request(reader, self.config.max_body_bytes),
+                        timeout=self.config.keepalive_s,
+                    )
+                except asyncio.TimeoutError:
+                    break
+                except ProtocolError as exc:
+                    writer.write(
+                        protocol.response_bytes(
+                            exc.status,
+                            error_body(exc.status, exc.detail),
+                            keep_alive=False,
+                        )
+                    )
+                    await writer.drain()
+                    break
+                except (ConnectionError, asyncio.IncompleteReadError):
+                    break
+                if request is None:
+                    break
+                if self._draining:
+                    writer.write(
+                        protocol.response_bytes(
+                            503,
+                            error_body(503, "server is draining"),
+                            headers={"Retry-After": "1"},
+                            keep_alive=False,
+                        )
+                    )
+                    await writer.drain()
+                    break
+                self._active_requests += 1
+                self._idle.clear()
+                try:
+                    started = monotonic()
+                    status, body, headers = await self._dispatch(request)
+                    self._observe(request, status, started)
+                finally:
+                    self._active_requests -= 1
+                    if self._active_requests == 0:
+                        self._idle.set()
+                keep = request.keep_alive and not self._draining
+                try:
+                    writer.write(
+                        protocol.response_bytes(
+                            status, body, headers=headers, keep_alive=keep
+                        )
+                    )
+                    await writer.drain()
+                except ConnectionError:
+                    break
+                if not keep:
+                    break
+        finally:
+            self._connections.discard(writer)
+            writer.close()
+
+    def _observe(self, request: Request, status: int, started: float) -> None:
+        self.stats.requests += 1
+        self.stats.count(status)
+        ended = monotonic()
+        if telemetry.tracer.enabled:
+            # record(), not span(): the tracer's span stack is for nested
+            # synchronous phases and would corrupt under interleaved
+            # async requests.  Retroactive admission has no such state.
+            telemetry.tracer.record(
+                "serve.request",
+                started,
+                ended,
+                attrs={
+                    "path": request.path,
+                    "method": request.method,
+                    "status": status,
+                },
+            )
+        if telemetry.metrics.enabled:
+            telemetry.metrics.counter(
+                "serve.requests", path=request.path, status=str(status)
+            ).inc()
+            telemetry.metrics.histogram(
+                "serve.latency_seconds", bounds=SECONDS_BUCKETS, path=request.path
+            ).observe(ended - started)
+            telemetry.metrics.gauge("serve.queue_depth").set(self.queue.depth)
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    async def _dispatch(self, request: Request) -> Response:
+        path, method = request.path, request.method
+        if path == "/healthz":
+            return self._healthz() if method == "GET" else _method_not_allowed("GET")
+        if path == "/readyz":
+            return self._readyz() if method == "GET" else _method_not_allowed("GET")
+        if path == "/statz":
+            return self._statz() if method == "GET" else _method_not_allowed("GET")
+        if path == "/metricz":
+            return self._metricz() if method == "GET" else _method_not_allowed("GET")
+        if path == "/predict":
+            if method != "GET":
+                return _method_not_allowed("GET")
+            return await self._predict(request)
+        if path == "/ingest":
+            if method != "POST":
+                return _method_not_allowed("POST")
+            return await self._ingest(request)
+        return 404, error_body(404, f"no route for {path}"), {}
+
+    def _degraded_headers(self) -> dict:
+        if self.breaker.degraded:
+            return {DEGRADED_HEADER: "stale-snapshot"}
+        return {}
+
+    def _healthz(self) -> Response:
+        payload = {
+            "status": "ok",
+            "uptime_s": round(monotonic() - self._started_at, 3),
+            "snapshot_edges": self.store.snapshot.num_edges,
+        }
+        return 200, json_body(payload), self._degraded_headers()
+
+    def _readyz(self) -> Response:
+        reasons = []
+        if self._draining:
+            reasons.append("draining")
+        if self.breaker.degraded:
+            reasons.append(f"breaker {self.breaker.state}")
+        if not reasons:
+            return 200, json_body({"ready": True}), {}
+        return (
+            503,
+            json_body({"ready": False, "reasons": reasons}),
+            {"Retry-After": "1", **self._degraded_headers()},
+        )
+
+    def _statz(self) -> Response:
+        payload = {
+            "config": self.config.describe(),
+            "store": self.store.describe(),
+            "queue": {
+                "depth": self.queue.depth,
+                "maxsize": self.queue.maxsize,
+                "admitted": self.queue.stats.admitted,
+                "shed": self.queue.stats.shed,
+                "expired_in_queue": self.queue.stats.expired_in_queue,
+                "max_depth": self.queue.stats.max_depth,
+            },
+            "breaker": self.breaker.describe(),
+            "server": self.stats.describe(),
+        }
+        return 200, json_body(payload), {}
+
+    def _metricz(self) -> Response:
+        if not telemetry.metrics.enabled:
+            return (
+                404,
+                error_body(404, "telemetry is off; start with --telemetry"),
+                {},
+            )
+        text = telemetry.prometheus_text(telemetry.metrics.payloads())
+        return (
+            200,
+            text.encode("utf-8"),
+            {"Content-Type": "text/plain; version=0.0.4"},
+        )
+
+    # ------------------------------------------------------------------
+    # Admitted endpoints
+    # ------------------------------------------------------------------
+    def _deadline_s(self, request: Request) -> float:
+        raw = request.params.get("deadline_ms")
+        if raw is None:
+            return self.config.deadline_s
+        try:
+            value = float(raw) / 1000.0
+        except ValueError:
+            raise ProtocolError(400, f"deadline_ms {raw!r} is not a number") from None
+        if value <= 0:
+            raise ProtocolError(400, "deadline_ms must be positive")
+        return min(value, self.config.max_deadline_s)
+
+    async def _predict(self, request: Request) -> Response:
+        try:
+            u = int(request.params["u"])
+        except KeyError:
+            return 400, error_body(400, "missing required parameter u"), {}
+        except ValueError:
+            return (
+                400,
+                error_body(400, f"u={request.params['u']!r} is not an integer"),
+                {},
+            )
+        try:
+            k = int(request.params.get("k", "10"))
+        except ValueError:
+            return (
+                400,
+                error_body(400, f"k={request.params['k']!r} is not an integer"),
+                {},
+            )
+        if not 1 <= k <= self.config.max_k:
+            return (
+                400,
+                error_body(400, f"k must be in [1, {self.config.max_k}], got {k}"),
+                {},
+            )
+        metric = request.params.get("metric", "RA")
+        try:
+            deadline_s = self._deadline_s(request)
+        except ProtocolError as exc:
+            return exc.status, error_body(exc.status, exc.detail), {}
+
+        loop = asyncio.get_running_loop()
+
+        def run():
+            return loop.run_in_executor(
+                self._executor, self.store.predict, u, k, metric
+            )
+
+        status, body, headers = await self._admitted("predict", run, deadline_s)
+        return status, body, {**headers, **self._degraded_headers()}
+
+    async def _ingest(self, request: Request) -> Response:
+        # Fast-fail at the door only in the *open* state, via the
+        # non-consuming state property — the half-open probe slot is
+        # claimed later, under the write lock, by the worker that will
+        # actually perform the write.
+        if self.breaker.state == OPEN:
+            retry = max(1, round(self.breaker.retry_after()))
+            return (
+                503,
+                error_body(503, "write path open (circuit breaker)"),
+                {"Retry-After": str(retry), **self._degraded_headers()},
+            )
+        try:
+            text = request.body.decode("utf-8")
+        except UnicodeDecodeError:
+            return 400, error_body(400, "body is not valid UTF-8"), {}
+        try:
+            deadline_s = self._deadline_s(request)
+        except ProtocolError as exc:
+            return exc.status, error_body(exc.status, exc.detail), {}
+        status, body, headers = await self._admitted(
+            "ingest", lambda: self._guarded_ingest(text), deadline_s
+        )
+        return status, body, {**headers, **self._degraded_headers()}
+
+    async def _guarded_ingest(self, text: str):
+        """Serialised write with breaker bookkeeping.
+
+        Runs inside a worker under the request deadline.  The breaker is
+        consulted again under the lock — its state may have changed while
+        the job sat in the queue, and in half-open this is the call that
+        claims the single probe slot.
+        """
+        async with self._write_lock:
+            if not self.breaker.allow():
+                raise BreakerOpen(self.breaker.retry_after())
+            loop = asyncio.get_running_loop()
+            if self.store.poisoned:
+                # recovery before the probe write: restore the engine
+                # from the last-good snapshot an audit failure left us.
+                await loop.run_in_executor(self._executor, self.store.resync)
+            try:
+                payload = await loop.run_in_executor(
+                    self._executor, self.store.ingest_lines, text
+                )
+            except IngestRejected:
+                # client error (strict-policy violation), not write-path
+                # sickness: hand back the probe, leave the counters be.
+                self.breaker.release_probe()
+                raise
+            except Exception as exc:
+                self.stats.write_failures += 1
+                self.breaker.record_failure()
+                if telemetry.metrics.enabled:
+                    telemetry.metrics.counter("serve.write_failures").inc()
+                if isinstance(exc, StoreWriteError):
+                    raise
+                raise StoreWriteError(f"{type(exc).__name__}: {exc}") from exc
+            self.breaker.record_success()
+            return payload
+
+    async def _admitted(self, name: str, run, deadline_s: float) -> Response:
+        """Queue one unit of work and await it under the deadline."""
+        now = monotonic()
+        loop = asyncio.get_running_loop()
+        job = Job(
+            name=name,
+            run=run,
+            future=loop.create_future(),
+            enqueued_at=now,
+            deadline_at=now + deadline_s,
+        )
+        if not self.queue.try_admit(job):
+            if telemetry.metrics.enabled:
+                telemetry.metrics.counter("serve.shed").inc()
+            retry = max(1, round(self.config.retry_after_s))
+            return (
+                429,
+                error_body(
+                    429,
+                    "admission queue full",
+                    queue_depth=self.queue.depth,
+                    queue_size=self.queue.maxsize,
+                ),
+                {"Retry-After": str(retry)},
+            )
+        try:
+            result = await asyncio.wait_for(job.future, timeout=deadline_s)
+        except (asyncio.TimeoutError, DeadlineExceeded):
+            job.abandoned = True
+            self.stats.deadline_misses += 1
+            if telemetry.metrics.enabled:
+                telemetry.metrics.counter("serve.deadline_misses").inc()
+            return (
+                504,
+                error_body(
+                    504, f"deadline of {deadline_s:.3f}s exceeded", endpoint=name
+                ),
+                {},
+            )
+        except UnknownNodeError as exc:
+            return 404, error_body(404, f"unknown node {exc.args[0]}"), {}
+        except KeyError as exc:
+            return 400, error_body(400, f"unknown metric: {exc.args[0]}"), {}
+        except IngestRejected as exc:
+            return (
+                400,
+                error_body(
+                    400, str(exc), error_class=exc.error_class, line=exc.lineno
+                ),
+                {},
+            )
+        except BreakerOpen as exc:
+            retry = max(1, round(exc.retry_after))
+            return 503, error_body(503, str(exc)), {"Retry-After": str(retry)}
+        except StoreWriteError as exc:
+            return 500, error_body(500, str(exc)), {}
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:  # noqa: BLE001 — last-resort 500
+            return 500, error_body(500, f"{type(exc).__name__}: {exc}"), {}
+        if name == "predict":
+            queue_wait = (job.started_at or job.enqueued_at) - job.enqueued_at
+            result["queue_wait_ms"] = round(queue_wait * 1000.0, 3)
+        return 200, json_body(result), {}
+
+
+def _method_not_allowed(allowed: str) -> "tuple[int, bytes, dict]":
+    return 405, error_body(405, f"use {allowed}"), {"Allow": allowed}
+
+
+def stats_snapshot(server: LinkPredictionServer) -> dict:
+    """Convenience: the /statz payload as a dict (used by the bench)."""
+    status, body, _headers = server._statz()
+    assert status == 200
+    return json.loads(body)

@@ -1,0 +1,141 @@
+"""Write-path circuit breaker: fail fast, degrade reads to last-good state.
+
+The ingest path is the only part of the server that mutates shared state,
+and a delta engine that keeps failing to apply (or failing its audit) must
+not be hammered: every attempt burns a worker slot and, after an audit
+failure, risks serving corrupt scores.  The breaker is the standard
+three-state machine:
+
+``closed``
+    Writes flow.  ``breaker_threshold`` *consecutive* failures trip it.
+``open``
+    Writes are rejected immediately with 503 + ``Retry-After`` (the
+    remaining cooldown).  Reads keep working from the last successfully
+    materialised snapshot — stale-but-served — and carry a
+    ``X-Repro-Degraded`` header; ``/readyz`` reports 503 while
+    ``/healthz`` stays 200, so an orchestrator routes traffic away
+    without restarting a process that is still useful.
+``half-open``
+    After the cooldown one probe write is let through.  Success closes
+    the breaker (and, if the engine was poisoned by an audit failure,
+    the store resynchronises from the last-good snapshot first);
+    failure re-opens it for a fresh cooldown.
+"""
+
+from __future__ import annotations
+
+import time
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class BreakerOpen(Exception):
+    """Raised on the write path while the breaker is rejecting writes."""
+
+    def __init__(self, retry_after: float) -> None:
+        super().__init__(f"write path open; retry after {retry_after:.1f}s")
+        self.retry_after = retry_after
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with a monotonic-clock cooldown.
+
+    ``clock`` is injectable so tests can drive state transitions
+    without sleeping.
+    """
+
+    def __init__(
+        self,
+        threshold: int,
+        cooldown_s: float,
+        clock=time.monotonic,
+    ) -> None:
+        if threshold < 1:
+            raise ValueError(f"threshold must be >= 1, got {threshold}")
+        if not cooldown_s > 0:
+            raise ValueError(f"cooldown_s must be positive, got {cooldown_s}")
+        self.threshold = threshold
+        self.cooldown_s = cooldown_s
+        self._clock = clock
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probe_in_flight = False
+        self.trips = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        """Current state; performs the timed open -> half-open move."""
+        if self._state == OPEN and (
+            self._clock() - self._opened_at >= self.cooldown_s
+        ):
+            self._state = HALF_OPEN
+            self._probe_in_flight = False
+        return self._state
+
+    @property
+    def degraded(self) -> bool:
+        """True while reads should carry the degraded header."""
+        return self.state != CLOSED
+
+    def retry_after(self) -> float:
+        """Seconds a rejected writer should wait before retrying."""
+        if self.state == OPEN:
+            return max(0.0, self.cooldown_s - (self._clock() - self._opened_at))
+        return 0.0
+
+    # ------------------------------------------------------------------
+    def allow(self) -> bool:
+        """May a write proceed right now?
+
+        In half-open exactly one probe is admitted; concurrent writers
+        queued behind it are rejected until the probe reports back.
+        """
+        state = self.state
+        if state == CLOSED:
+            return True
+        if state == HALF_OPEN and not self._probe_in_flight:
+            self._probe_in_flight = True
+            return True
+        return False
+
+    def release_probe(self) -> None:
+        """Return a half-open probe slot without judging the write.
+
+        For outcomes that say nothing about write-path health — e.g. a
+        batch rejected by a *strict ingest policy* is the client's
+        fault, not the engine's — the probe must be handed back or the
+        breaker would stay half-open with its one slot leaked forever.
+        """
+        self._probe_in_flight = False
+
+    def record_success(self) -> None:
+        self._consecutive_failures = 0
+        self._probe_in_flight = False
+        self._state = CLOSED
+
+    def record_failure(self) -> None:
+        self._probe_in_flight = False
+        if self._state == HALF_OPEN:
+            # failed probe: straight back to open, fresh cooldown.
+            self._state = OPEN
+            self._opened_at = self._clock()
+            self.trips += 1
+            return
+        self._consecutive_failures += 1
+        if self._consecutive_failures >= self.threshold:
+            self._state = OPEN
+            self._opened_at = self._clock()
+            self.trips += 1
+
+    def describe(self) -> dict:
+        return {
+            "state": self.state,
+            "consecutive_failures": self._consecutive_failures,
+            "threshold": self.threshold,
+            "trips": self.trips,
+            "retry_after_s": round(self.retry_after(), 3),
+        }

@@ -1,0 +1,122 @@
+"""Tiny HTTP/1.1 client for the serving layer (stdlib only).
+
+Used by the robustness tests, the parity suite, and the load bench.
+Deliberately symmetrical with :mod:`repro.serve.protocol`: one request
+per call, ``Content-Length`` framing, no chunked bodies.  The async
+path (:func:`request`) is what the open-loop bench drives — thousands
+of concurrent in-flight requests on one event loop; :func:`sync_request`
+wraps ``http.client`` for plain scripts and CI smoke checks.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ClientResponse:
+    """One parsed response."""
+
+    status: int
+    headers: "dict[str, str]" = field(default_factory=dict)
+    body: bytes = b""
+
+    def json(self) -> dict:
+        return json.loads(self.body)
+
+    @property
+    def degraded(self) -> bool:
+        return "x-repro-degraded" in self.headers
+
+
+def _request_bytes(
+    method: str,
+    target: str,
+    body: "bytes | None",
+    headers: "dict[str, str] | None",
+    host: str,
+    close: bool,
+) -> bytes:
+    lines = [
+        f"{method} {target} HTTP/1.1",
+        f"Host: {host}",
+    ]
+    if close:
+        lines.append("Connection: close")
+    for name, value in (headers or {}).items():
+        lines.append(f"{name}: {value}")
+    payload = body or b""
+    if payload or method in ("POST", "PUT"):
+        lines.append(f"Content-Length: {len(payload)}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + payload
+
+
+async def _read_response(reader: asyncio.StreamReader) -> ClientResponse:
+    status_line = await reader.readline()
+    if not status_line:
+        raise ConnectionError("server closed the connection before responding")
+    parts = status_line.decode("latin-1").split(" ", 2)
+    status = int(parts[1])
+    headers: dict[str, str] = {}
+    while True:
+        raw = await reader.readline()
+        if raw in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = raw.decode("latin-1").rstrip("\r\n").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    body = b""
+    length = int(headers.get("content-length", "0"))
+    if length:
+        body = await reader.readexactly(length)
+    return ClientResponse(status=status, headers=headers, body=body)
+
+
+async def request(
+    host: str,
+    port: int,
+    method: str,
+    target: str,
+    *,
+    body: "bytes | None" = None,
+    headers: "dict[str, str] | None" = None,
+    timeout: float = 30.0,
+) -> ClientResponse:
+    """One request over a fresh connection (``Connection: close``)."""
+    reader, writer = await asyncio.wait_for(
+        asyncio.open_connection(host, port), timeout=timeout
+    )
+    try:
+        writer.write(
+            _request_bytes(method, target, body, headers, host, close=True)
+        )
+        await writer.drain()
+        return await asyncio.wait_for(_read_response(reader), timeout=timeout)
+    finally:
+        writer.close()
+
+
+def sync_request(
+    host: str,
+    port: int,
+    method: str,
+    target: str,
+    *,
+    body: "bytes | None" = None,
+    headers: "dict[str, str] | None" = None,
+    timeout: float = 30.0,
+) -> ClientResponse:
+    """Blocking variant via ``http.client`` (scripts, CI smoke checks)."""
+    conn = http.client.HTTPConnection(host, port, timeout=timeout)
+    try:
+        conn.request(method, target, body=body, headers=headers or {})
+        raw = conn.getresponse()
+        return ClientResponse(
+            status=raw.status,
+            headers={k.lower(): v for k, v in raw.getheaders()},
+            body=raw.read(),
+        )
+    finally:
+        conn.close()

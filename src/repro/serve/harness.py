@@ -1,0 +1,136 @@
+"""In-process server harness: a live server on a background event loop.
+
+The robustness tests and the load bench both need a real server — real
+sockets, real admission queue, real workers — without shelling out to a
+subprocess for every case.  The harness runs the event loop on a
+daemon thread, starts a :class:`LinkPredictionServer` on an ephemeral
+port, and exposes a blocking :meth:`request` (plus :meth:`submit` for
+driving many concurrent requests from the bench).  ``with`` semantics
+guarantee the drain path runs even when an assertion fails mid-test.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+from repro.graph.dyngraph import TemporalGraph
+from repro.serve import client
+from repro.serve.app import LinkPredictionServer
+from repro.serve.config import ServeConfig
+from repro.serve.store import ScoreStore
+
+
+class ServerHarness:
+    """Start/stop wrapper around one in-process server instance."""
+
+    def __init__(
+        self,
+        trace: TemporalGraph,
+        config: "ServeConfig | None" = None,
+        *,
+        store: "ScoreStore | None" = None,
+    ) -> None:
+        self.config = config if config is not None else ServeConfig(port=0)
+        self.store = store if store is not None else ScoreStore(trace)
+        self.server = LinkPredictionServer(self.store, self.config)
+        self.loop: "asyncio.AbstractEventLoop | None" = None
+        self._thread: "threading.Thread | None" = None
+        self._ready = threading.Event()
+        self._startup_error: "BaseException | None" = None
+
+    # ------------------------------------------------------------------
+    @property
+    def port(self) -> int:
+        port = self.server.port
+        assert port is not None, "harness not started"
+        return port
+
+    @property
+    def host(self) -> str:
+        return self.config.host
+
+    def start(self) -> "ServerHarness":
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serve-harness", daemon=True
+        )
+        self._thread.start()
+        self._ready.wait(timeout=30.0)
+        if self._startup_error is not None:
+            raise RuntimeError("server failed to start") from self._startup_error
+        if self.server.port is None:
+            raise RuntimeError("server did not come up within 30s")
+        return self
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self.loop = loop
+        try:
+            loop.run_until_complete(self.server.start())
+        except BaseException as exc:  # noqa: BLE001 — reported to starter
+            self._startup_error = exc
+            self._ready.set()
+            loop.close()
+            return
+        self._ready.set()
+        try:
+            loop.run_forever()
+        finally:
+            pending = asyncio.all_tasks(loop)
+            for task in pending:
+                task.cancel()
+            if pending:
+                loop.run_until_complete(
+                    asyncio.gather(*pending, return_exceptions=True)
+                )
+            loop.close()
+
+    def stop(self, *, drain: bool = True) -> "bool | None":
+        """Drain (optionally) and tear the loop down; True = clean drain."""
+        loop = self.loop
+        if loop is None or not loop.is_running():
+            return None
+        clean: "bool | None" = None
+        if drain:
+            future = asyncio.run_coroutine_threadsafe(self.server.drain(), loop)
+            clean = future.result(timeout=self.config.drain_s + 10.0)
+        loop.call_soon_threadsafe(loop.stop)
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+        return clean
+
+    def __enter__(self) -> "ServerHarness":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    def submit(self, coro) -> "asyncio.Future":
+        """Schedule a coroutine on the server's loop (concurrent load)."""
+        assert self.loop is not None
+        return asyncio.run_coroutine_threadsafe(coro, self.loop)
+
+    def request(
+        self,
+        method: str,
+        target: str,
+        *,
+        body: "bytes | None" = None,
+        headers: "dict[str, str] | None" = None,
+        timeout: float = 30.0,
+    ) -> client.ClientResponse:
+        """One blocking request against the live server."""
+        future = self.submit(
+            client.request(
+                self.host,
+                self.port,
+                method,
+                target,
+                body=body,
+                headers=headers,
+                timeout=timeout,
+            )
+        )
+        return future.result(timeout=timeout + 5.0)

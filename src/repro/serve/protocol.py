@@ -1,0 +1,166 @@
+"""Minimal HTTP/1.1 framing over asyncio streams (stdlib only).
+
+Just enough of the protocol for the serving layer: request-line +
+headers + optional ``Content-Length`` body on the way in, status +
+headers + body on the way out, with keep-alive honoured.  Chunked
+transfer encoding, expect/continue, and multipart are deliberately out
+of scope — a malformed or unsupported request gets a clean 4xx instead
+of a stack trace, and every parse limit is explicit so a hostile peer
+cannot make the server buffer unboundedly.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from urllib.parse import parse_qsl, urlsplit
+
+#: request-line + single-header length cap (matches asyncio's default
+#: StreamReader limit, so readline() can never overrun it).
+MAX_LINE_BYTES = 64 * 1024
+#: header-count cap; more than this is a malformed or hostile request.
+MAX_HEADERS = 100
+
+REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+class ProtocolError(Exception):
+    """Malformed HTTP from the peer; the handler answers ``status``."""
+
+    def __init__(self, status: int, detail: str) -> None:
+        super().__init__(detail)
+        self.status = status
+        self.detail = detail
+
+
+@dataclass
+class Request:
+    """One parsed request."""
+
+    method: str
+    target: str
+    path: str
+    params: "dict[str, str]" = field(default_factory=dict)
+    headers: "dict[str, str]" = field(default_factory=dict)
+    body: bytes = b""
+
+    @property
+    def keep_alive(self) -> bool:
+        return self.headers.get("connection", "").lower() != "close"
+
+
+async def read_request(
+    reader: asyncio.StreamReader, max_body_bytes: int
+) -> "Request | None":
+    """Parse one request; None on clean EOF (peer closed between requests)."""
+    try:
+        line = await reader.readline()
+    except (asyncio.LimitOverrunError, ValueError):
+        raise ProtocolError(400, "request line too long") from None
+    if not line:
+        return None
+    parts = line.decode("latin-1").rstrip("\r\n").split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise ProtocolError(400, "malformed request line")
+    method, target, _version = parts
+
+    headers: dict[str, str] = {}
+    while True:
+        if len(headers) > MAX_HEADERS:
+            raise ProtocolError(400, "too many headers")
+        try:
+            raw = await reader.readline()
+        except (asyncio.LimitOverrunError, ValueError):
+            raise ProtocolError(400, "header line too long") from None
+        if raw in (b"\r\n", b"\n", b""):
+            break
+        text = raw.decode("latin-1").rstrip("\r\n")
+        name, sep, value = text.partition(":")
+        if not sep:
+            raise ProtocolError(400, f"malformed header line {text!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    body = b""
+    if "content-length" in headers:
+        try:
+            length = int(headers["content-length"])
+        except ValueError:
+            raise ProtocolError(400, "non-integer Content-Length") from None
+        if length < 0:
+            raise ProtocolError(400, "negative Content-Length")
+        if length > max_body_bytes:
+            raise ProtocolError(
+                413, f"body of {length} bytes exceeds the {max_body_bytes} cap"
+            )
+        body = await reader.readexactly(length)
+    elif headers.get("transfer-encoding"):
+        raise ProtocolError(400, "transfer encodings are not supported")
+
+    split = urlsplit(target)
+    params = dict(parse_qsl(split.query, keep_blank_values=True))
+    return Request(
+        method=method.upper(),
+        target=target,
+        path=split.path,
+        params=params,
+        headers=headers,
+        body=body,
+    )
+
+
+def response_bytes(
+    status: int,
+    body: bytes,
+    *,
+    content_type: str = "application/json",
+    headers: "dict[str, str] | None" = None,
+    keep_alive: bool = True,
+) -> bytes:
+    """Serialise one response, Content-Length framed.
+
+    A ``Content-Type`` entry in ``headers`` overrides the default
+    instead of duplicating the header (used by the Prometheus text
+    endpoint).
+    """
+    extra = dict(headers or {})
+    for name in list(extra):
+        if name.lower() == "content-type":
+            content_type = extra.pop(name)
+    reason = REASONS.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    for name, value in extra.items():
+        lines.append(f"{name}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body
+
+
+def json_body(payload: dict) -> bytes:
+    """Canonical JSON body.
+
+    ``json.dumps`` emits shortest-round-trip float literals, so every
+    float64 score crosses the wire bit-exactly — the property the
+    serve-vs-batch parity suite asserts.
+    """
+    return (json.dumps(payload, separators=(",", ":")) + "\n").encode("utf-8")
+
+
+def error_body(status: int, detail: str, **extra) -> bytes:
+    payload = {"error": REASONS.get(status, "error"), "detail": detail}
+    payload.update(extra)
+    return json_body(payload)

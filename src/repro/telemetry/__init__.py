@@ -33,7 +33,9 @@ Typical call-site shape (guard first — disabled must stay free)::
 
 from __future__ import annotations
 
+import atexit
 import os
+import signal as _signal
 import time
 
 from repro.telemetry.collect import (
@@ -63,6 +65,8 @@ __all__ = [
     "metrics",
     "configure",
     "shutdown",
+    "flush",
+    "install_signal_flush",
     "reset",
     "install_worker_mode",
     "drain_worker_payload",
@@ -94,6 +98,7 @@ metrics = NULL_REGISTRY
 
 _session: "TelemetrySession | None" = None
 _worker_token: "str | None" = None
+_atexit_registered = False
 
 
 def configure(
@@ -106,13 +111,24 @@ def configure(
     Raises :class:`RuntimeError` if telemetry is already configured in
     this process — two sessions writing one global tracer would
     interleave unrelated span trees.
+
+    An ``atexit`` hook is registered (once per process) so a session the
+    owner forgot to :func:`shutdown` — or a long-running process that
+    exits through ``sys.exit`` — still flushes buffered spans and
+    appends its final metric records; :meth:`TelemetrySession.close` is
+    idempotent and pid-guarded, so an explicit shutdown first costs
+    nothing.  Hard kills bypass ``atexit``; see
+    :func:`install_signal_flush` for the SIGTERM story.
     """
-    global tracer, metrics, _session
+    global tracer, metrics, _session, _atexit_registered
     if _session is not None or _worker_token is not None:
         raise RuntimeError("telemetry is already configured in this process")
     _session = TelemetrySession(trace_path, prom_path=prom_path, name=name)
     tracer = _session.tracer
     metrics = _session.registry
+    if not _atexit_registered:
+        atexit.register(shutdown)
+        _atexit_registered = True
     return _session
 
 
@@ -130,6 +146,42 @@ def shutdown() -> None:
 #: alias used by worker initialisers when telemetry is off: make sure a
 #: forked child never keeps the parent's recording instances.
 reset = shutdown
+
+
+def flush() -> None:
+    """Push buffered spans of the active session to its trace file.
+
+    A no-op when telemetry is off; never closes the session.
+    """
+    if _session is not None:
+        _session.flush()
+
+
+def install_signal_flush(
+    signums: "tuple[int, ...]" = (_signal.SIGTERM,),
+) -> None:
+    """Close the active session cleanly when one of ``signums`` arrives.
+
+    ``atexit`` hooks do not run when a process dies to an unhandled
+    SIGTERM, so a killed long-running server would lose every buffered
+    span and all final metric records.  This installs a chaining handler:
+    on signal it closes the session (flush spans, append metrics, close
+    the file — leaving a fully parseable trace), restores the previously
+    installed handler, and re-raises the signal so the process still
+    terminates with the exact status an observer expects (e.g. 143 for
+    SIGTERM).  Processes that handle SIGTERM themselves (``repro serve``
+    drains in-flight requests first) should *not* install this — their
+    orderly shutdown path already flushes.
+    """
+    def _flush_and_reraise(signum, frame):  # noqa: ARG001
+        shutdown()
+        _signal.signal(signum, previous.get(signum, _signal.SIG_DFL))
+        os.kill(os.getpid(), signum)
+
+    previous = {}
+    for signum in signums:
+        previous[signum] = _signal.getsignal(signum)
+        _signal.signal(signum, _flush_and_reraise)
 
 
 def install_worker_mode() -> str:

@@ -174,6 +174,18 @@ class TelemetrySession:
     def trace_path(self) -> str:
         return self._sink.path
 
+    def flush(self) -> None:
+        """Push buffered spans to the trace file without closing.
+
+        Long-running processes (the serving layer's periodic flusher)
+        call this so a later hard kill loses at most the spans recorded
+        since the previous flush, never the whole buffer.  Pid-guarded
+        like :meth:`close` so a forked child cannot interleave writes.
+        """
+        if self._closed or os.getpid() != self._pid:
+            return
+        self.tracer.flush()
+
     def close(self) -> None:
         if self._closed or os.getpid() != self._pid:
             return

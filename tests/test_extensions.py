@@ -5,7 +5,6 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.extensions.incremental import IncrementalNeighborhood
 from repro.extensions.weighted import (
     WeightedAdamicAdar,
     WeightedCommonNeighbors,
@@ -13,6 +12,7 @@ from repro.extensions.weighted import (
     synthesize_weights,
     weight_matrix,
 )
+from repro.graph.delta import IncrementalNeighborhood
 from repro.graph.snapshots import Snapshot
 from repro.metrics.base import get_metric
 from repro.metrics.candidates import two_hop_pairs
@@ -117,6 +117,35 @@ class TestWeightedMetrics:
         wra = WeightedResourceAllocation(weights, alpha=1.0).fit(s).score(pairs)
         ra = get_metric("RA").fit(s).score(pairs)
         assert spearmanr(wra, ra).statistic > 0.5
+
+
+class TestIncrementalShim:
+    def test_legacy_import_path_warns_and_reexports(self):
+        """repro.extensions.incremental is a deprecation shim now."""
+        import importlib
+        import warnings
+
+        with warnings.catch_warnings():
+            # the first import may be the one that triggers the warning;
+            # the reload below asserts it deterministically
+            warnings.simplefilter("ignore", DeprecationWarning)
+            import repro.extensions.incremental as shim
+
+        with pytest.warns(DeprecationWarning, match="repro.graph.delta"):
+            shim = importlib.reload(shim)
+        assert shim.IncrementalNeighborhood is IncrementalNeighborhood
+
+    def test_package_surface_does_not_warn(self, recwarn):
+        """Importing the extensions package itself must stay silent."""
+        import importlib
+
+        import repro.extensions
+
+        importlib.reload(repro.extensions)
+        assert not [
+            w for w in recwarn.list if issubclass(w.category, DeprecationWarning)
+        ]
+        assert repro.extensions.IncrementalNeighborhood is IncrementalNeighborhood
 
 
 class TestIncrementalNeighborhood:

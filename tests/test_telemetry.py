@@ -376,3 +376,103 @@ class TestLifecycle:
 
     def test_drain_worker_payload_outside_worker_is_none(self):
         assert telemetry.drain_worker_payload() is None
+
+
+# ---------------------------------------------------------------------------
+# Sink durability: flush() and the SIGTERM story
+# ---------------------------------------------------------------------------
+class TestSinkDurability:
+    def test_flush_leaves_a_parseable_trace_mid_session(self, tmp_path):
+        path = tmp_path / "flush.jsonl"
+        telemetry.configure(path, name="durability")
+        with telemetry.tracer.span("work.one"):
+            pass
+        telemetry.flush()
+        # the session is still open, but the file already parses and
+        # holds everything recorded so far
+        recorded = read_trace(path)
+        assert [s["name"] for s in recorded.spans] == ["work.one"]
+
+    def test_flush_without_a_session_is_a_no_op(self):
+        telemetry.flush()  # must not raise with the nulls installed
+
+    def test_sigterm_kills_but_trace_stays_parseable(self, tmp_path):
+        """install_signal_flush: a SIGTERM'd process loses at most the
+        spans recorded after its last flush — and the file stays valid."""
+        import os
+        import signal
+        import subprocess
+        import sys
+        import time
+
+        path = tmp_path / "sigterm.jsonl"
+        script = (
+            "import sys, time\n"
+            "from repro import telemetry\n"
+            "telemetry.configure(sys.argv[1], name='durability')\n"
+            "telemetry.install_signal_flush()\n"
+            "with telemetry.tracer.span('work.before_kill'):\n"
+            "    telemetry.metrics.counter('work.items').inc(3)\n"
+            "print('ready', flush=True)\n"
+            "while True:\n"
+            "    time.sleep(0.05)\n"
+        )
+        repo_src = os.path.join(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (repo_src, env.get("PYTHONPATH", "")) if p
+        )
+        proc = subprocess.Popen(
+            [sys.executable, "-c", script, str(path)],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            env=env,
+        )
+        try:
+            assert proc.stdout.readline().strip() == "ready"
+            proc.send_signal(signal.SIGTERM)
+            proc.wait(timeout=15.0)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+        # the chained handler re-raises, so the exit reflects the signal
+        assert proc.returncode == -signal.SIGTERM
+        recorded = read_trace(path)
+        assert "work.before_kill" in [s["name"] for s in recorded.spans]
+        assert recorded.counter_value("work.items") == 3
+
+    def test_atexit_flushes_an_unclosed_session(self, tmp_path):
+        """A process that configures telemetry and simply exits (no
+        shutdown() call) still gets its spans on disk via atexit."""
+        import os
+        import subprocess
+        import sys
+
+        path = tmp_path / "atexit.jsonl"
+        script = (
+            "import sys\n"
+            "from repro import telemetry\n"
+            "telemetry.configure(sys.argv[1], name='durability')\n"
+            "with telemetry.tracer.span('work.then_exit'):\n"
+            "    pass\n"
+        )
+        repo_src = os.path.join(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (repo_src, env.get("PYTHONPATH", "")) if p
+        )
+        result = subprocess.run(
+            [sys.executable, "-c", script, str(path)],
+            capture_output=True,
+            text=True,
+            env=env,
+            timeout=60,
+        )
+        assert result.returncode == 0, result.stderr
+        recorded = read_trace(path)
+        assert [s["name"] for s in recorded.spans] == ["work.then_exit"]
