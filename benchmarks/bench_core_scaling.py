@@ -18,11 +18,36 @@ candidate masks):
   2-hop candidates) and a global metric (PA, all non-edge candidates) on
   every prediction step, where the legacy side pays the legacy snapshot
   build, dense enumeration, and per-pair dict-lookup scoring, and the new
-  side runs the actual library code.
+  side runs the actual library code;
+- **enumeration strategies** — each of the three density-adaptive
+  candidate enumerations (sparse / dense / blocked) forced in turn via
+  ``REPRO_ENUM_STRATEGY``, parity-checked against each other, with the
+  auto-chosen strategy and the measured per-strategy timings (the
+  crossover data the thresholds in ``repro.metrics.candidates`` encode)
+  recorded per size;
+- **full metric sweep** — all registered metrics (18) scored once through
+  the legacy per-metric ``score()`` path (each neighbourhood metric builds
+  its own ``A @ diag(w) @ A``) and once through the batched kernel layer
+  (``score_pairs``: one shared common-neighbour expansion per block).
+  Model fits run *outside* both timed passes, so the ratio isolates
+  scoring.  Scores are asserted **bitwise identical** between passes
+  before the timing is trusted.
 
 Both sides are checked pair-for-pair and score-for-score identical before
 any timing is trusted.  Results go to ``BENCH_core.json`` at the repo root
 (the perf trajectory file) and ``benchmarks/results/core_scaling.txt``.
+Full (non-smoke) runs additionally enforce the acceptance floors: 2-hop
+enumeration speedup >= 1.0 on the dense facebook sizes and >= 5.0 on the
+sparse youtube size; full-sweep kernel speedup >= 2.0 on the sparse preset
+and >= 1.0 (plus bitwise parity) on the dense presets.  The asymmetry is
+Amdahl, not a regression: on a small dense snapshot the per-metric
+``A @ diag(w) @ A`` products the kernel eliminates are already cheap
+(~20 ms each at n = 850, 4% density) while the global metrics
+(Katz, Rescal, PPR, ...) gather identically in both passes, so the
+batched expansion can only approach ~1.3x there.  On the sparse preset the
+per-metric sparse products are the dominant cost (hub rows make ``A^2``
+expensive) and the shared expansion pays off at 4x+.  The dense presets'
+headline win is the dense enumeration strategy (two-hop floor above).
 
 Usage::
 
@@ -33,6 +58,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 import tracemalloc
@@ -48,8 +74,13 @@ from _common import build_report, write_report
 from repro.generators import presets
 from repro.graph.dyngraph import TemporalGraph
 from repro.graph.snapshots import Snapshot, snapshot_sequence
-from repro.metrics.base import get_metric
-from repro.metrics.candidates import candidate_pairs
+from repro.metrics.base import all_metric_names, get_metric
+from repro.metrics.candidates import (
+    ENUM_STRATEGIES,
+    candidate_pairs,
+    choose_enumeration_strategy,
+)
+from repro.metrics.kernels import score_pairs
 
 #: (label, preset, scale) — three sizes of the dense friendship trace, plus
 #: the sparse subscription trace where the dense n^2 candidate buffers used
@@ -282,16 +313,133 @@ def bench_metric_sweep(trace: TemporalGraph, delta: int) -> dict:
     }
 
 
+def bench_enum_strategies(trace: TemporalGraph) -> dict:
+    """Force each enumeration strategy in turn; record the crossover data."""
+    snap = Snapshot(trace, trace.num_edges)
+    snap.adjacency_matrix()
+    stats = snap.csr_stats()
+    chosen = choose_enumeration_strategy(snap)
+    out = {
+        "chosen": chosen,
+        "density": round(stats.density, 6),
+        "two_hop_work": stats.two_hop_work,
+    }
+    baseline = None
+    for strategy in ENUM_STRATEGIES:
+        os.environ["REPRO_ENUM_STRATEGY"] = strategy
+        try:
+            snap.cache.clear()
+            started = time.perf_counter()
+            pairs = candidate_pairs(snap, "two_hop")
+            elapsed = time.perf_counter() - started
+        finally:
+            del os.environ["REPRO_ENUM_STRATEGY"]
+        if baseline is None:
+            baseline = pairs
+            out["pairs"] = int(len(pairs))
+        else:
+            assert np.array_equal(baseline, pairs), (
+                f"{strategy} enumeration diverged from sparse"
+            )
+        out[f"{strategy}_s"] = round(elapsed, 4)
+    out["chosen_vs_sparse"] = round(out["sparse_s"] / max(out[f"{chosen}_s"], 1e-9), 2)
+    return out
+
+
+def bench_full_sweep(trace: TemporalGraph) -> dict:
+    """All registered metrics, legacy per-metric score vs batched kernels.
+
+    Every metric is fitted *before* either timed pass (warming the global
+    models — eigendecompositions, PPR inverse, shortest paths — that both
+    paths share identically), so the two timings isolate scoring: the
+    legacy pass pays each neighbourhood metric's lazy ``A @ diag(w) @ A``
+    build plus its gather, the kernel pass pays one shared expansion per
+    block plus per-metric segment sums.  Scores must match bitwise.
+    """
+    snap = Snapshot(trace, trace.num_edges)
+    names = sorted(all_metric_names())
+    metrics = {name: get_metric(name).fit(snap) for name in names}
+    pairs_by_strategy = {
+        strategy: candidate_pairs(snap, strategy)
+        for strategy in ("two_hop", "all")
+    }
+
+    started = time.perf_counter()
+    kernel_scores = {
+        name: score_pairs(
+            metric, snap, pairs_by_strategy[metric.candidate_strategy]
+        )
+        for name, metric in metrics.items()
+    }
+    kernel_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    legacy_scores = {
+        name: np.asarray(
+            metric.score(pairs_by_strategy[metric.candidate_strategy]),
+            dtype=np.float64,
+        )
+        for name, metric in metrics.items()
+    }
+    legacy_s = time.perf_counter() - started
+
+    for name in names:
+        assert np.array_equal(legacy_scores[name], kernel_scores[name]), (
+            f"full-sweep parity broke for {name}"
+        )
+    return {
+        "metrics": len(names),
+        "two_hop_pairs": int(len(pairs_by_strategy["two_hop"])),
+        "all_pairs": int(len(pairs_by_strategy["all"])),
+        "legacy_s": round(legacy_s, 4),
+        "kernel_s": round(kernel_s, 4),
+        "speedup": round(legacy_s / kernel_s, 2),
+        "parity": "bitwise",
+    }
+
+
 def _summary_line(e: dict) -> str:
-    return (
+    line = (
         f"{e['label']:>6} (n={e['nodes']}, E={e['edges']}): "
         f"seq {e['snapshot_sequence']['speedup']}x, "
-        f"two-hop peak mem "
-        f"{e['candidate_enumeration']['two_hop']['peak_reduction']}x smaller, "
+        f"two-hop {e['candidate_enumeration']['two_hop']['speedup']}x "
+        f"({e['enumeration_strategies']['chosen']}), "
         f"all-pairs peak mem "
         f"{e['candidate_enumeration']['all']['peak_reduction']}x smaller, "
         f"sweep {e['metric_sweep']['speedup']}x"
     )
+    if "metric_sweep_full" in e:
+        line += f", full-sweep {e['metric_sweep_full']['speedup']}x"
+    return line
+
+
+#: sizes that get the (heavier) all-registered-metrics sweep: one dense
+#: preset + one sparse preset, per the acceptance criteria.
+FULL_SWEEP_LABELS = frozenset({"small", "large", "large-sparse"})
+
+
+def _check_floors(sizes: "list[dict]") -> None:
+    """Acceptance floors, enforced on full runs before anything is written."""
+    for e in sizes:
+        two_hop = e["candidate_enumeration"]["two_hop"]["speedup"]
+        floor = 1.0 if e["dataset"] == "facebook" else 5.0
+        assert two_hop >= floor, (
+            f"{e['label']}: 2-hop enumeration speedup {two_hop} < {floor}"
+        )
+        full = e.get("metric_sweep_full")
+        if full is not None:
+            # Dense presets are Amdahl-limited (see module docstring): the
+            # matrix builds the kernel removes are already cheap there, so
+            # the floor is parity + no-regression; the sparse preset is
+            # where the shared expansion must win outright.
+            sweep_floor = 2.0 if e["dataset"] != "facebook" else 1.0
+            assert full["speedup"] >= sweep_floor, (
+                f"{e['label']}: full-sweep kernel speedup "
+                f"{full['speedup']} < {sweep_floor}"
+            )
+            assert full["parity"] == "bitwise", (
+                f"{e['label']}: full-sweep parity {full['parity']!r}"
+            )
 
 
 def run(scales, write_json: bool) -> dict:
@@ -307,13 +455,27 @@ def run(scales, write_json: bool) -> dict:
             "edges": trace.num_edges,
             "snapshot_sequence": bench_snapshot_sequence(trace, delta),
             "candidate_enumeration": bench_candidates(trace),
+            "enumeration_strategies": bench_enum_strategies(trace),
             "metric_sweep": bench_metric_sweep(trace, delta),
         }
+        if label in FULL_SWEEP_LABELS:
+            entry["metric_sweep_full"] = bench_full_sweep(trace)
         sizes.append(entry)
         print(f"[{label}] nodes={entry['nodes']} edges={entry['edges']}")
-        for section in ("snapshot_sequence", "candidate_enumeration", "metric_sweep"):
-            print(f"  {section}: {entry[section]}")
+        for section in (
+            "snapshot_sequence",
+            "candidate_enumeration",
+            "enumeration_strategies",
+            "metric_sweep",
+            "metric_sweep_full",
+        ):
+            if section in entry:
+                print(f"  {section}: {entry[section]}")
 
+    if write_json:
+        # Smoke runs (CI) check parity only; full runs enforce the perf
+        # floors the PR acceptance criteria pin.
+        _check_floors(sizes)
     report = build_report("core_scaling", sizes)
     if write_json:
         write_report(report, line_formatter=_summary_line, json_stem="core")

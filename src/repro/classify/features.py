@@ -16,6 +16,7 @@ import numpy as np
 from repro.graph.snapshots import Snapshot
 from repro.metrics import CLASSIFIER_FEATURES
 from repro.metrics.base import get_metric
+from repro.metrics.kernels import score_pairs
 
 
 class FeatureExtractor:
@@ -70,7 +71,10 @@ class FeatureExtractor:
         for j, name in enumerate(self.metric_names):
             metric = get_metric(name)
             metric.fit(snapshot)
-            column = metric.score(pairs) if len(pairs) else np.zeros(0)
+            # Batched kernel route: every feature column scores the same
+            # pair array, so the shared common-neighbour expansion is paid
+            # once per snapshot and reused across all metric columns.
+            column = score_pairs(metric, snapshot, pairs)
             finite = np.isfinite(column)
             if not finite.all():
                 bound = np.abs(column[finite]).max() if finite.any() else 1.0

@@ -23,6 +23,7 @@ from repro.eval.ranking import top_k_pairs
 from repro.graph.snapshots import Snapshot, new_edges_between
 from repro.metrics.base import SimilarityMetric, get_metric
 from repro.metrics.candidates import candidate_pairs, random_nonedge_pairs
+from repro.metrics.kernels import score_pairs
 from repro.utils.pairs import Pair
 from repro.utils.rng import ensure_rng
 
@@ -119,7 +120,7 @@ def _evaluate_step_impl(
             )
         pairs = pairs[mask]
     k = len(truth)
-    scores = metric.score(pairs) if len(pairs) else np.zeros(0)
+    scores = score_pairs(metric, previous, pairs)
     top = top_k_pairs(pairs, scores, k, generator)
     predicted = {(int(u), int(v)) for u, v in top}
     fill = 0

@@ -31,6 +31,7 @@ from repro.metrics.base import (
     SimilarityMetric,
     adjacency,
     cached,
+    register,
     two_hop_matrix,
 )
 from repro.utils.pairs import Pair
@@ -99,7 +100,9 @@ class _WeightedNeighbourhoodMetric(SimilarityMetric):
 
     candidate_strategy = "two_hop"
 
-    def __init__(self, weights: "dict[Pair, float]", alpha: float = 1.0) -> None:
+    def __init__(
+        self, weights: "dict[Pair, float] | None" = None, alpha: float = 1.0
+    ) -> None:
         super().__init__()
         self.weights = weights
         self.alpha = alpha
@@ -107,13 +110,28 @@ class _WeightedNeighbourhoodMetric(SimilarityMetric):
     def _node_scaling(self, snapshot: Snapshot, strength: np.ndarray) -> np.ndarray:
         raise NotImplementedError
 
+    def _snapshot_weights(self, snapshot: Snapshot) -> "dict[Pair, float]":
+        """Caller-supplied weights, or deterministic synthesized ones.
+
+        The registry instantiates metrics with no arguments, so the
+        registered WCN/WAA/WRA fall back to :func:`synthesize_weights`
+        (seed 0, cached per snapshot) — the traces record only link
+        creation, never interaction volume.
+        """
+        if self.weights is not None:
+            return self.weights
+        return cached(
+            snapshot, "synthetic_weights", lambda: synthesize_weights(snapshot)
+        )
+
     def fit(self, snapshot: Snapshot):
         import scipy.sparse as sp
 
         self.snapshot = snapshot
-        w = weight_matrix(snapshot, self.weights, self.alpha)
+        weights = self._snapshot_weights(snapshot)
+        w = weight_matrix(snapshot, weights, self.alpha)
         raw_strength = np.asarray(
-            weight_matrix(snapshot, self.weights, 1.0).sum(axis=1)
+            weight_matrix(snapshot, weights, 1.0).sum(axis=1)
         ).ravel()
         scaling = self._node_scaling(snapshot, raw_strength)
         a = adjacency(snapshot)
@@ -129,7 +147,17 @@ class _WeightedNeighbourhoodMetric(SimilarityMetric):
         rows, cols = pairs_to_indices(snapshot, pairs)
         return matrix_values(self._matrix, rows, cols)
 
+    def score_block(self, block) -> np.ndarray:
+        # Edge-weighted sums are a different kernel shape (per-edge rather
+        # than per-node weights), so the block contributes its shared
+        # position columns; the fitted product supplies the values.
+        self._require_fit()
+        from repro.metrics.base import matrix_values
 
+        return matrix_values(self._matrix, block.rows, block.cols)
+
+
+@register
 class WeightedCommonNeighbors(_WeightedNeighbourhoodMetric):
     """WCN [27]: ``sum_z w(u,z)^a + w(z,v)^a``."""
 
@@ -139,6 +167,7 @@ class WeightedCommonNeighbors(_WeightedNeighbourhoodMetric):
         return np.ones_like(strength)
 
 
+@register
 class WeightedAdamicAdar(_WeightedNeighbourhoodMetric):
     """WAA [27]: ``sum_z (w(u,z)^a + w(z,v)^a) / log(1 + s(z))``."""
 
@@ -148,6 +177,7 @@ class WeightedAdamicAdar(_WeightedNeighbourhoodMetric):
         return 1.0 / np.log1p(strength)
 
 
+@register
 class WeightedResourceAllocation(_WeightedNeighbourhoodMetric):
     """WRA [27]: ``sum_z (w(u,z)^a + w(z,v)^a) / s(z)``."""
 

@@ -172,36 +172,57 @@ class DeltaGraph:
         np.maximum.at(last, index.eu, self._ct)
         np.maximum.at(last, index.ev, self._ct)
         self._last_active = last
-        # Candidate set + warm score tables via the batch path (cached on a
-        # throwaway snapshot; the metric code computes the same products a
-        # full rebuild would, so the seeded values are bitwise-canonical).
-        from repro.metrics.base import (
-            matrix_values,
-            pairs_to_indices,
-            two_hop_matrix,
-        )
+        # Candidate set + warm score tables via the kernel expansion — the
+        # same descending-order accumulation the batch path's score_block
+        # performs (and, by the SMMP-order argument in repro.metrics.kernels,
+        # the same float additions as the sparse products a full rebuild
+        # would sample), so the seeded values are bitwise-canonical.  The
+        # chunked loop bounds the expansion's working set; no A^2 or
+        # weighted product is materialised during seeding any more.
+        from repro.metrics.base import pairs_to_indices
         from repro.metrics.candidates import two_hop_pairs
-        from repro.metrics.local import (
-            inv_degree_weights,
-            inv_log_degree_weights,
-            weighted_two_hop,
+        from repro.metrics.kernels import (
+            block_pair_limit,
+            common_neighbor_expansion,
+            intersection_counts,
+            weighted_counts,
         )
+        from repro.metrics.local import inv_degree_weights, inv_log_degree_weights
 
         snap = Snapshot(trace, num_edges)
         pairs = two_hop_pairs(snap)
         rows, cols = pairs_to_indices(snap, pairs)
         self._cand_keys = encode_position_pairs(rows, cols)
-        self._cand_cn = matrix_values(two_hop_matrix(snap), rows, cols).astype(
-            np.int64
-        )
-        self._scores = {}
         weight_fns = {"AA": inv_log_degree_weights, "RA": inv_degree_weights}
         degrees = self._deg.astype(np.float64)
-        for name in self._tracked:
-            if name == "CN":
-                continue  # CN is served from the exact integer counts
-            matrix = weighted_two_hop(snap, weight_fns[name](degrees), f"{name}_mat")
-            self._scores[name] = matrix_values(matrix, rows, cols)
+        weight_vecs = {
+            name: weight_fns[name](degrees)
+            for name in self._tracked
+            if name != "CN"  # CN is served from the exact integer counts
+        }
+        indptr, indices = snap.csr_structure()
+        limit = block_pair_limit()
+        cn_parts: "list[np.ndarray]" = []
+        score_parts: "dict[str, list[np.ndarray]]" = {n: [] for n in weight_vecs}
+        for start in range(0, len(rows), limit):
+            r = rows[start : start + limit]
+            c = cols[start : start + limit]
+            pair_ids, neighbors = common_neighbor_expansion(
+                indptr, indices, r, c, adj_keys=self._adj_keys
+            )
+            cn_parts.append(intersection_counts(pair_ids, len(r)))
+            for name, w in weight_vecs.items():
+                score_parts[name].append(
+                    weighted_counts(pair_ids, neighbors, w, len(r))
+                )
+
+        def cat(parts: "list[np.ndarray]") -> np.ndarray:
+            if not parts:
+                return np.zeros(0, dtype=np.float64)
+            return parts[0] if len(parts) == 1 else np.concatenate(parts)
+
+        self._cand_cn = cat(cn_parts).astype(np.int64)
+        self._scores = {name: cat(parts) for name, parts in score_parts.items()}
         self._dirty = np.zeros(len(self._cand_keys), dtype=bool)
         self._dirty_nodes = set()
 
@@ -510,19 +531,21 @@ class DeltaGraph:
         ``(a, b)`` entry counts changed nodes adjacent to both ``a`` and
         ``b`` (edges are only added, so a changed common neighbour is
         adjacent to both endpoints after the batch too).  Entries are
-        recomputed through row-sliced ``A[R] @ diag(w) @ A`` products that
-        are bitwise identical to the corresponding full-product entries.
+        recomputed through the kernel layer's common-neighbour expansion
+        over the maintained CSR, whose descending-order accumulation is
+        bitwise identical to the corresponding full-product entries (see
+        :mod:`repro.metrics.kernels`) — no row-sliced matrix product is
+        built any more.
         """
         tracked = [name for name in self._tracked if name != "CN"]
         refreshed = 0
         mask = self._dirty
         num_cand = len(self._cand_keys)
         if num_cand and (mask.any() or self._dirty_nodes):
-            matrix = None
+            indptr, indices = self._csr_parts()
             if self._dirty_nodes:
                 changed = np.asarray(sorted(self._dirty_nodes), dtype=np.int64)
                 positions = np.searchsorted(self._node_ids, changed)
-                indptr, indices = self._csr_parts()
                 matrix = sp.csr_matrix(
                     (np.ones(len(indices), dtype=np.float64), indices, indptr),
                     shape=(self.num_nodes, self.num_nodes),
@@ -544,6 +567,10 @@ class DeltaGraph:
                     mask[pos[member]] = True
             refreshed = int(np.count_nonzero(mask))
             if refreshed and tracked:
+                from repro.metrics.kernels import (
+                    common_neighbor_expansion,
+                    weighted_counts,
+                )
                 from repro.metrics.local import (
                     inv_degree_weights,
                     inv_log_degree_weights,
@@ -552,31 +579,19 @@ class DeltaGraph:
                 dirty_rows, dirty_cols = decode_position_pairs(
                     self._cand_keys[mask]
                 )
-                row_set = np.unique(dirty_rows)
-                if matrix is None:
-                    indptr, indices = self._csr_parts()
-                    matrix = sp.csr_matrix(
-                        (
-                            np.ones(len(indices), dtype=np.float64),
-                            indices,
-                            indptr,
-                        ),
-                        shape=(self.num_nodes, self.num_nodes),
-                    )
+                pair_ids, neighbors = common_neighbor_expansion(
+                    indptr, indices, dirty_rows, dirty_cols,
+                    adj_keys=self._adj_keys,
+                )
                 degrees = self._deg.astype(np.float64)
                 weight_fns = {
                     "AA": inv_log_degree_weights,
                     "RA": inv_degree_weights,
                 }
-                sliced = matrix[row_set]
-                local_rows = np.searchsorted(row_set, dirty_rows)
                 for name in tracked:
                     weights = weight_fns[name](degrees)
-                    product = (sliced @ sp.diags(weights) @ matrix).tocsr()
-                    self._scores[name][mask] = (
-                        np.asarray(product[local_rows, dirty_cols])
-                        .ravel()
-                        .astype(np.float64)
+                    self._scores[name][mask] = weighted_counts(
+                        pair_ids, neighbors, weights, refreshed
                     )
         self._dirty = np.zeros(num_cand, dtype=bool)
         self._dirty_nodes.clear()

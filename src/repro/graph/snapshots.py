@@ -24,6 +24,7 @@ recent activity) *as of the snapshot time* without copying history.
 from __future__ import annotations
 
 from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
 
 import numpy as np
 import scipy.sparse as sp
@@ -40,6 +41,28 @@ def _isin_sorted(values: np.ndarray, table: np.ndarray) -> np.ndarray:
     pos = np.searchsorted(table, values)
     pos = np.minimum(pos, len(table) - 1)
     return table[pos] == values
+
+
+@dataclass(frozen=True)
+class CsrStats:
+    """Cheap structural statistics of a snapshot's CSR adjacency.
+
+    Everything the density-adaptive candidate enumerator needs to choose a
+    strategy, derived in O(n) from structure that the metrics build anyway:
+
+    - ``density`` is the undirected edge density ``2|E| / (n(n-1))``
+      (``nnz`` counts both directions, so it equals ``nnz / (n(n-1))``);
+    - ``two_hop_work`` is ``sum_k deg(k)^2`` — the number of multiply-adds
+      a sparse ``A @ A`` performs, i.e. the cost of the sparse 2-hop
+      enumeration path.
+    """
+
+    nodes: int
+    edges: int
+    nnz: int
+    density: float
+    max_degree: int
+    two_hop_work: int
 
 
 class Snapshot:
@@ -172,6 +195,22 @@ class Snapshot:
         private state; treat the returned arrays as read-only.
         """
         return self._structure()
+
+    def csr_stats(self) -> CsrStats:
+        """Structural statistics driving enumeration-strategy selection."""
+        self._structure()
+        n = len(self.node_ids)
+        deg = self._deg
+        nnz = int(len(self._indices))
+        possible = n * (n - 1)
+        return CsrStats(
+            nodes=n,
+            edges=self.num_edges,
+            nnz=nnz,
+            density=(nnz / possible) if possible else 0.0,
+            max_degree=int(deg.max()) if n else 0,
+            two_hop_work=int(np.dot(deg, deg)),
+        )
 
     def positions_of(self, values: np.ndarray) -> np.ndarray:
         """Vectorised node id -> position lookup (raises on unknown ids)."""

@@ -1,14 +1,16 @@
-"""The 14 metric-based link prediction algorithms of Table 3.
+"""The metric-based link prediction algorithms of Table 3 (and beyond).
 
 Importing this package registers every metric; use
 :func:`~repro.metrics.base.get_metric` / ``all_metric_names()`` to
 instantiate them by their paper names:
 
 ``CN  JC  AA  RA  BCN  BAA  BRA  LP  SP  PA  PPR  LRW  Katz_lr  Katz_sc
-Rescal``
+Rescal  WCN  WAA  WRA``
 
 (Katz appears twice — the low-rank and the scalable approximation — so 15
-names cover the paper's "14 metrics + two Katz implementations".)
+names cover the paper's "14 metrics + two Katz implementations"; the
+Section-7 weighted extensions WCN/WAA/WRA bring the registered sweep to
+18.)
 """
 
 from repro.metrics import (  # noqa: F401  (import for registration side effect)
@@ -19,6 +21,7 @@ from repro.metrics import (  # noqa: F401  (import for registration side effect)
     rescal,
     walks,
 )
+from repro.extensions import weighted  # noqa: F401  (registration: WCN/WAA/WRA)
 from repro.metrics.base import SimilarityMetric, all_metric_names, get_metric
 from repro.metrics.candidates import (
     all_nonedge_pairs,

@@ -140,6 +140,20 @@ class SimilarityMetric(ABC):
     def score(self, pairs: np.ndarray) -> np.ndarray:
         """Score candidate pairs; ``pairs`` is an ``(n, 2)`` node-id array."""
 
+    def score_block(self, block) -> np.ndarray:
+        """Score one :class:`~repro.metrics.kernels.CandidateBlock`.
+
+        The batched-kernel protocol: ``block`` carries shared, memoised
+        state (position columns, the common-neighbour expansion, degree
+        gathers) that every metric scoring the same block reuses.  Scores
+        must be *bitwise identical* to ``score(block.pairs)`` — the
+        differential suite enforces this for every registered metric.
+        The default delegates to :meth:`score`, so third-party metrics
+        keep working unchanged; built-in metrics override it to read the
+        block's shared state instead of rebuilding their own.
+        """
+        return self.score(block.pairs)
+
     def _require_fit(self) -> Snapshot:
         if self.snapshot is None:
             raise RuntimeError(f"{self.name}: call fit(snapshot) before score()")

@@ -1,17 +1,33 @@
-"""Candidate-pair enumeration.
+"""Candidate-pair enumeration, with density-adaptive strategy selection.
 
 Link prediction scores *unconnected* node pairs.  Which pairs are worth
 scoring depends on the metric: the common-neighbourhood family is identically
 zero beyond two hops, while PA / Rescal / Katz / PPR are defined globally.
 
-Enumeration is sparse and vectorised: the 2-hop set comes from the sparse
-``A^2`` structure (memory O(nnz(A^2)), never a dense n x n mask), and the
-all-pairs set is generated directly from triangular-index arithmetic with a
-byte-per-pair knockout mask — no dense float adjacency is ever materialised
-on this path.
+The 2-hop enumeration picks one of three interchangeable strategies from
+the snapshot's CSR statistics (:meth:`~repro.graph.snapshots.Snapshot.csr_stats`):
+
+- **sparse** — upper triangle of sparse ``A^2`` with a CSR-sampled edge
+  knockout; memory O(nnz(A^2)).  The default for sparse graphs, where it
+  beats any dense formulation by a wide margin.
+- **dense** — one float32 GEMM over a dense 0/1 adjacency plus boolean
+  masks.  On small dense graphs (facebook-like: thousands of nodes, ≥ 1%
+  density) BLAS wins decisively over sparse products whose ``A^2`` is
+  nearly full anyway.  Counts stay exact: they are integers below 2^24.
+- **blocked** — degree-balanced row blocks of the sparse product, bounding
+  the partial-product working set when ``A^2`` is too big to hold at once
+  but the graph is too large/sparse for the dense path.
+
+All three produce the *identical* row-major candidate array (the
+differential suite asserts array equality), so the choice is purely a
+performance decision; ``REPRO_ENUM_STRATEGY`` forces one for benchmarks.
+The all-pairs set is generated from triangular-index arithmetic with a
+byte-per-pair knockout mask — no dense float adjacency on that path.
 """
 
 from __future__ import annotations
+
+import os
 
 import numpy as np
 import scipy.sparse as sp
@@ -20,7 +36,21 @@ from repro import telemetry
 from repro.graph.snapshots import Snapshot
 from repro.metrics.base import adjacency, cached, two_hop_matrix
 from repro.telemetry.metrics import SIZE_BUCKETS
+from repro.utils.pairs import encode_position_pairs
 from repro.utils.rng import ensure_rng
+
+#: strategy-selection thresholds (see DESIGN.md "Batched kernels &
+#: density-adaptive enumeration" for the measured crossover they encode).
+DENSE_MAX_NODES = 4096
+DENSE_MIN_DENSITY = 0.01
+BLOCKED_MIN_WORK = 50_000_000
+#: multiply-adds per blocked partial product (bounds its working set).
+BLOCKED_TARGET_WORK = 1 << 25
+
+#: snapshot-cache key recording which strategy enumerated ``pairs_two_hop``.
+ENUM_STRATEGY_KEY = "enum_strategy"
+
+ENUM_STRATEGIES = ("sparse", "dense", "blocked")
 
 
 def _empty_pairs() -> np.ndarray:
@@ -32,12 +62,162 @@ def seed_candidate_cache(snapshot: Snapshot, pairs: np.ndarray) -> None:
 
     The delta engine maintains the candidate set incrementally and seeds
     materialised snapshots through this hook, so :func:`two_hop_pairs`
-    serves the maintained array instead of building ``A^2``.  Callers
-    guarantee the pairs match what :func:`two_hop_pairs` would compute —
-    row-major over the snapshot's node positions — which the differential
-    suite and :func:`repro.graph.audit.audit_delta` both enforce.
+    serves the maintained array instead of building ``A^2``.
+
+    The incoming array is validated and canonicalised rather than trusted:
+    it must be an integer ``(n, 2)`` array of known node ids with no
+    self-pairs; rows are flipped to ``u < v`` order and sorted row-major
+    over snapshot positions when they are not already (the order every
+    consumer — ranking RNG tie-breaks, delta score tables, the kernel
+    block splitter — relies on).  Duplicate pairs raise.  A
+    well-formed array (the delta engine's own) passes through unchanged,
+    same object identity included, so warm-table fast paths keep working.
     """
+    pairs = np.asarray(pairs)
+    if pairs.ndim != 2 or pairs.shape[1] != 2:
+        raise ValueError(
+            f"candidate pairs must be an (n, 2) array, got shape {pairs.shape}"
+        )
+    if not np.issubdtype(pairs.dtype, np.integer):
+        raise ValueError(
+            f"candidate pairs must be an integer array, got dtype {pairs.dtype}"
+        )
+    pairs = pairs.astype(np.int64, copy=False)
+    if len(pairs):
+        lo = np.minimum(pairs[:, 0], pairs[:, 1])
+        hi = np.maximum(pairs[:, 0], pairs[:, 1])
+        if np.any(lo == hi):
+            bad = int(lo[np.flatnonzero(lo == hi)[0]])
+            raise ValueError(f"self-pair ({bad}, {bad}) in seeded candidates")
+        try:
+            rows = snapshot.positions_of(lo)
+            cols = snapshot.positions_of(hi)
+        except KeyError as exc:
+            raise ValueError(
+                f"seeded candidate references unknown node {exc.args[0]}"
+            ) from exc
+        keys = encode_position_pairs(rows, cols)
+        deltas = np.diff(keys)
+        if np.any(deltas == 0):
+            raise ValueError("duplicate pair in seeded candidates")
+        if np.any(deltas < 0):
+            order = np.argsort(keys, kind="stable")
+            keys = keys[order]
+            if np.any(np.diff(keys) == 0):
+                raise ValueError("duplicate pair in seeded candidates")
+            pairs = np.column_stack((lo[order], hi[order]))
+        elif not (
+            np.array_equal(lo, pairs[:, 0]) and np.array_equal(hi, pairs[:, 1])
+        ):
+            pairs = np.column_stack((lo, hi))
     snapshot.cache["pairs_two_hop"] = pairs
+    snapshot.cache[ENUM_STRATEGY_KEY] = "seeded"
+
+
+# ---------------------------------------------------------------------------
+# 2-hop enumeration strategies (identical output, different cost shapes)
+# ---------------------------------------------------------------------------
+def choose_enumeration_strategy(snapshot: Snapshot) -> str:
+    """Pick the 2-hop enumeration strategy from CSR statistics.
+
+    ``REPRO_ENUM_STRATEGY`` (``sparse`` / ``dense`` / ``blocked``)
+    overrides the choice — benchmarks use it to measure the crossover.
+    """
+    override = os.environ.get("REPRO_ENUM_STRATEGY", "")
+    if override:
+        if override not in ENUM_STRATEGIES:
+            raise ValueError(
+                f"REPRO_ENUM_STRATEGY must be one of {ENUM_STRATEGIES}, "
+                f"got {override!r}"
+            )
+        return override
+    stats = snapshot.csr_stats()
+    if 2 <= stats.nodes <= DENSE_MAX_NODES and stats.density >= DENSE_MIN_DENSITY:
+        return "dense"
+    if stats.two_hop_work >= BLOCKED_MIN_WORK:
+        return "blocked"
+    return "sparse"
+
+
+def _sparse_two_hop_positions(snapshot: Snapshot) -> tuple[np.ndarray, np.ndarray]:
+    """Upper triangle of sparse ``A^2``, existing edges knocked out."""
+    a = adjacency(snapshot)
+    a2 = two_hop_matrix(snapshot)
+    upper = sp.triu(a2, k=1).tocoo()
+    if upper.nnz == 0:
+        return np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64)
+    connected = np.asarray(a[upper.row, upper.col]).ravel() > 0
+    reachable = upper.data > 0  # guard explicit zeros
+    keep = reachable & ~connected
+    rows, cols = upper.row[keep], upper.col[keep]
+    order = np.lexsort((cols, rows))
+    return rows[order].astype(np.int64), cols[order].astype(np.int64)
+
+
+def _dense_two_hop_positions(snapshot: Snapshot) -> tuple[np.ndarray, np.ndarray]:
+    """One float32 GEMM; counts are exact integers below 2^24."""
+    indptr, indices = snapshot.csr_structure()
+    n = snapshot.num_nodes
+    adj = np.zeros((n, n), dtype=np.float32)
+    row_ids = np.repeat(np.arange(n), np.diff(indptr))
+    adj[row_ids, indices] = 1.0
+    counts = adj @ adj
+    cand = (counts > 0) & (adj == 0.0)
+    cand &= ~np.tri(n, dtype=bool)  # strict upper triangle
+    rows, cols = np.nonzero(cand)  # C-order scan = row-major pair order
+    return rows.astype(np.int64), cols.astype(np.int64)
+
+
+def _blocked_two_hop_positions(snapshot: Snapshot) -> tuple[np.ndarray, np.ndarray]:
+    """Degree-balanced row blocks of the sparse product.
+
+    Row ``i`` of ``A @ A`` costs ``sum_{k in N(i)} deg(k)`` multiply-adds;
+    block boundaries equalise that work (not row counts), so hub-heavy
+    front rows do not serialise into one giant partial product.  Each
+    block's partial result is filtered and sorted independently; blocks
+    concatenate in row order, preserving the global row-major contract.
+    """
+    a = adjacency(snapshot)
+    indptr, indices = snapshot.csr_structure()
+    n = snapshot.num_nodes
+    deg = np.diff(indptr)
+    work_prefix = np.concatenate(
+        (np.zeros(1), np.cumsum(deg[indices], dtype=np.float64))
+    )
+    row_work_cum = work_prefix[indptr]  # cumulative work before each row
+    total = float(row_work_cum[-1])
+    num_blocks = max(1, int(np.ceil(total / BLOCKED_TARGET_WORK)))
+    targets = np.arange(1, num_blocks) * (total / num_blocks)
+    cuts = np.searchsorted(row_work_cum[1:], targets, side="left") + 1
+    bounds = np.unique(np.concatenate(([0], cuts, [n])))
+    rows_parts, cols_parts = [], []
+    for r0, r1 in zip(bounds[:-1], bounds[1:]):
+        prod = (a[r0:r1] @ a).tocoo()
+        if prod.nnz == 0:
+            continue
+        rows = prod.row.astype(np.int64) + int(r0)
+        cols = prod.col.astype(np.int64)
+        keep = (prod.data > 0) & (cols > rows)
+        rows, cols = rows[keep], cols[keep]
+        if len(rows) == 0:
+            continue
+        connected = np.asarray(a[rows, cols]).ravel() > 0
+        rows, cols = rows[~connected], cols[~connected]
+        if len(rows) == 0:
+            continue
+        order = np.lexsort((cols, rows))
+        rows_parts.append(rows[order])
+        cols_parts.append(cols[order])
+    if not rows_parts:
+        return np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64)
+    return np.concatenate(rows_parts), np.concatenate(cols_parts)
+
+
+_ENUM_IMPLS = {
+    "sparse": _sparse_two_hop_positions,
+    "dense": _dense_two_hop_positions,
+    "blocked": _blocked_two_hop_positions,
+}
 
 
 def two_hop_pairs(snapshot: Snapshot) -> np.ndarray:
@@ -46,24 +226,24 @@ def two_hop_pairs(snapshot: Snapshot) -> np.ndarray:
     These are the pairs "most algorithms' predictions are dominated by"
     (Section 4.2); the 2-hop edge ratio lambda_2 is measured against them.
 
-    Computed from the sparse ``A^2`` upper triangle with existing edges
-    knocked out by a vectorised CSR sample — memory O(nnz(A^2)) instead of
-    the dense O(n^2) masks this path used to allocate.  Pairs come back in
-    row-major (node_list) order.
+    The enumeration strategy is chosen per snapshot by
+    :func:`choose_enumeration_strategy`; all strategies return the same
+    row-major (node_list-ordered) array.  The chosen strategy is recorded
+    in the snapshot cache under :data:`ENUM_STRATEGY_KEY` and counted in
+    telemetry.
     """
     def compute() -> np.ndarray:
-        a = adjacency(snapshot)
-        a2 = two_hop_matrix(snapshot)
-        upper = sp.triu(a2, k=1).tocoo()
-        if upper.nnz == 0:
+        strategy = choose_enumeration_strategy(snapshot)
+        snapshot.cache[ENUM_STRATEGY_KEY] = strategy
+        if telemetry.metrics.enabled:
+            telemetry.metrics.counter(
+                "candidates.enum_strategy", strategy=strategy
+            ).inc()
+        rows, cols = _ENUM_IMPLS[strategy](snapshot)
+        if len(rows) == 0:
             return _empty_pairs()
-        connected = np.asarray(a[upper.row, upper.col]).ravel() > 0
-        reachable = upper.data > 0  # guard explicit zeros
-        keep = reachable & ~connected
-        rows, cols = upper.row[keep], upper.col[keep]
-        order = np.lexsort((cols, rows))
         ids = snapshot.node_ids
-        return np.column_stack((ids[rows[order]], ids[cols[order]]))
+        return np.column_stack((ids[rows], ids[cols]))
 
     return cached(snapshot, "pairs_two_hop", compute)
 
@@ -101,11 +281,16 @@ def prewarm_candidate_caches(
 
     The parallel experiment runner calls this once per snapshot per worker
     process so every ``(metric, step, seed)`` work cell dispatched to that
-    worker finds the sparse adjacency, ``A^2``, and candidate-pair arrays
-    already cached, instead of each first-arriving cell paying the build.
+    worker finds the sparse adjacency, packed adjacency keys, and
+    candidate-pair arrays already cached, instead of each first-arriving
+    cell paying the build.  (``A^2`` is *not* prewarmed any more — the
+    kernel layer's expansion serves the neighbourhood metrics without it,
+    and metrics that do need it build it lazily on first legacy score.)
     """
+    from repro.metrics.kernels import adjacency_keys
+
     adjacency(snapshot)
-    two_hop_matrix(snapshot)
+    adjacency_keys(snapshot)
     for strategy in set(strategies):
         candidate_pairs(snapshot, strategy)
 

@@ -126,12 +126,11 @@ class CommonNeighbors(SimilarityMetric):
 
     def fit(self, snapshot: Snapshot) -> "CommonNeighbors":
         self.snapshot = snapshot
-        # A delta-materialised snapshot carries warm scores for the whole
-        # candidate set; skip the A^2 product until a pair falls outside it.
-        self._matrix = (
-            None if has_delta_scores(snapshot, self.name)
-            else two_hop_matrix(snapshot)
-        )
+        # The A^2 product is deferred until a score() call actually needs
+        # it: delta-warm snapshots serve the whole candidate set from their
+        # maintained table, and the kernel path (score_block) counts common
+        # neighbours from the shared expansion without any matrix at all.
+        self._matrix = None
         return self
 
     def score(self, pairs: np.ndarray) -> np.ndarray:
@@ -144,6 +143,13 @@ class CommonNeighbors(SimilarityMetric):
         rows, cols = pairs_to_indices(snapshot, pairs)
         return matrix_values(self._matrix, rows, cols)
 
+    def score_block(self, block) -> np.ndarray:
+        snapshot = self._require_fit()
+        warm = delta_backed_scores(snapshot, self.name, block.pairs)
+        if warm is not None:
+            return warm
+        return block.counts().copy()
+
 
 @register
 class JaccardCoefficient(SimilarityMetric):
@@ -154,15 +160,26 @@ class JaccardCoefficient(SimilarityMetric):
 
     def fit(self, snapshot: Snapshot) -> "JaccardCoefficient":
         self.snapshot = snapshot
-        self._matrix = two_hop_matrix(snapshot)
+        self._matrix = None  # A^2, built on the first score() call
         self._deg = degrees(snapshot)
         return self
 
     def score(self, pairs: np.ndarray) -> np.ndarray:
         snapshot = self._require_fit()
+        if self._matrix is None:
+            self._matrix = two_hop_matrix(snapshot)
         rows, cols = pairs_to_indices(snapshot, pairs)
         cn = matrix_values(self._matrix, rows, cols)
         union = self._deg[rows] + self._deg[cols] - cn
+        out = np.zeros_like(cn)
+        np.divide(cn, union, out=out, where=union > 0)
+        return out
+
+    def score_block(self, block) -> np.ndarray:
+        self._require_fit()
+        cn = block.counts()
+        deg_u, deg_v = block.degrees()
+        union = deg_u + deg_v - cn
         out = np.zeros_like(cn)
         np.divide(cn, union, out=out, where=union > 0)
         return out
@@ -177,10 +194,8 @@ class AdamicAdar(SimilarityMetric):
 
     def fit(self, snapshot: Snapshot) -> "AdamicAdar":
         self.snapshot = snapshot
-        self._matrix = (
-            None if has_delta_scores(snapshot, self.name)
-            else weighted_two_hop(snapshot, _safe_inv_log_degree(snapshot), "AA_mat")
-        )
+        self._weights = _safe_inv_log_degree(snapshot)
+        self._matrix = None  # built on the first score() call that needs it
         return self
 
     def score(self, pairs: np.ndarray) -> np.ndarray:
@@ -189,11 +204,16 @@ class AdamicAdar(SimilarityMetric):
         if warm is not None:
             return warm
         if self._matrix is None:
-            self._matrix = weighted_two_hop(
-                snapshot, _safe_inv_log_degree(snapshot), "AA_mat"
-            )
+            self._matrix = weighted_two_hop(snapshot, self._weights, "AA_mat")
         rows, cols = pairs_to_indices(snapshot, pairs)
         return matrix_values(self._matrix, rows, cols)
+
+    def score_block(self, block) -> np.ndarray:
+        snapshot = self._require_fit()
+        warm = delta_backed_scores(snapshot, self.name, block.pairs)
+        if warm is not None:
+            return warm
+        return block.weighted(self._weights, self.name).copy()
 
 
 @register
@@ -205,10 +225,8 @@ class ResourceAllocation(SimilarityMetric):
 
     def fit(self, snapshot: Snapshot) -> "ResourceAllocation":
         self.snapshot = snapshot
-        self._matrix = (
-            None if has_delta_scores(snapshot, self.name)
-            else weighted_two_hop(snapshot, _safe_inv_degree(snapshot), "RA_mat")
-        )
+        self._weights = _safe_inv_degree(snapshot)
+        self._matrix = None  # built on the first score() call that needs it
         return self
 
     def score(self, pairs: np.ndarray) -> np.ndarray:
@@ -217,8 +235,13 @@ class ResourceAllocation(SimilarityMetric):
         if warm is not None:
             return warm
         if self._matrix is None:
-            self._matrix = weighted_two_hop(
-                snapshot, _safe_inv_degree(snapshot), "RA_mat"
-            )
+            self._matrix = weighted_two_hop(snapshot, self._weights, "RA_mat")
         rows, cols = pairs_to_indices(snapshot, pairs)
         return matrix_values(self._matrix, rows, cols)
+
+    def score_block(self, block) -> np.ndarray:
+        snapshot = self._require_fit()
+        warm = delta_backed_scores(snapshot, self.name, block.pairs)
+        if warm is not None:
+            return warm
+        return block.weighted(self._weights, self.name).copy()

@@ -85,14 +85,25 @@ class _LocalNaiveBayesMetric(SimilarityMetric):
     def fit(self, snapshot: Snapshot):
         self.snapshot = snapshot
         log_s = math.log(prior_constant(snapshot))
-        weights = self._neighbour_weights(snapshot, log_s)
-        self._matrix = weighted_two_hop(snapshot, weights, f"{self.name}_mat")
+        self._weights = self._neighbour_weights(snapshot, log_s)
+        # The weighted product is deferred to the first score() call: the
+        # kernel path (score_block) sums self._weights over the shared
+        # common-neighbour expansion and never needs the matrix.
+        self._matrix = None
         return self
 
     def score(self, pairs: np.ndarray) -> np.ndarray:
         snapshot = self._require_fit()
+        if self._matrix is None:
+            self._matrix = weighted_two_hop(
+                snapshot, self._weights, f"{self.name}_mat"
+            )
         rows, cols = pairs_to_indices(snapshot, pairs)
         return matrix_values(self._matrix, rows, cols)
+
+    def score_block(self, block) -> np.ndarray:
+        self._require_fit()
+        return block.weighted(self._weights, self.name).copy()
 
 
 @register
@@ -105,10 +116,6 @@ class BayesCommonNeighbors(_LocalNaiveBayesMetric):
         # log(s) + log(R_w) per intermediate node folds both terms into a
         # single weighted path count.
         return log_s + np.log(role_function(snapshot))
-
-    def fit(self, snapshot: Snapshot) -> "BayesCommonNeighbors":
-        super().fit(snapshot)
-        return self
 
 
 @register

@@ -58,6 +58,13 @@ class ShortestPath(SimilarityMetric):
     def score(self, pairs: np.ndarray) -> np.ndarray:
         snapshot = self._require_fit()
         rows, cols = pairs_to_indices(snapshot, pairs)
+        return self._score_at(rows, cols)
+
+    def score_block(self, block) -> np.ndarray:
+        self._require_fit()
+        return self._score_at(block.rows, block.cols)
+
+    def _score_at(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
         dist = self._dist[rows, cols]
         # Unreachable pairs (inf) get -inf so they rank last.
         return np.where(np.isinf(dist), -np.inf, -dist)
@@ -93,6 +100,14 @@ class LocalPath(SimilarityMetric):
         rows, cols = pairs_to_indices(snapshot, pairs)
         p2 = matrix_values(self._a2, rows, cols)
         p3 = self._a3[rows, cols]
+        return p2 + self.epsilon * p3
+
+    def score_block(self, block) -> np.ndarray:
+        self._require_fit()
+        # 2-hop counts come from the shared expansion (exact integers, so
+        # order-independent); only the 3-hop term still reads the dense A^3.
+        p2 = block.counts()
+        p3 = self._a3[block.rows, block.cols]
         return p2 + self.epsilon * p3
 
 
@@ -137,6 +152,13 @@ class KatzLowRank(SimilarityMetric):
     def score(self, pairs: np.ndarray) -> np.ndarray:
         snapshot = self._require_fit()
         rows, cols = pairs_to_indices(snapshot, pairs)
+        return self._score_at(rows, cols)
+
+    def score_block(self, block) -> np.ndarray:
+        self._require_fit()
+        return self._score_at(block.rows, block.cols)
+
+    def _score_at(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
         left = self._vec[rows] * self._factor
         return np.einsum("ij,ij->i", left, self._vec[cols])
 
@@ -184,3 +206,7 @@ class KatzTruncated(SimilarityMetric):
         snapshot = self._require_fit()
         rows, cols = pairs_to_indices(snapshot, pairs)
         return self._matrix[rows, cols]
+
+    def score_block(self, block) -> np.ndarray:
+        self._require_fit()
+        return self._matrix[block.rows, block.cols]

@@ -31,6 +31,11 @@ class PreferentialAttachment(SimilarityMetric):
         rows, cols = pairs_to_indices(snapshot, pairs)
         return self._deg[rows] * self._deg[cols]
 
+    def score_block(self, block) -> np.ndarray:
+        self._require_fit()
+        deg_u, deg_v = block.degrees()
+        return deg_u * deg_v
+
     def top_pairs_fast(self, limit: int) -> np.ndarray:
         """Candidate shortlist: non-edges among the highest-degree nodes.
 

@@ -123,6 +123,13 @@ class Rescal(SimilarityMetric):
     def score(self, pairs: np.ndarray) -> np.ndarray:
         snapshot = self._require_fit()
         rows, cols = pairs_to_indices(snapshot, pairs)
+        return self._score_at(rows, cols)
+
+    def score_block(self, block) -> np.ndarray:
+        self._require_fit()
+        return self._score_at(block.rows, block.cols)
+
+    def _score_at(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
         forward = np.einsum("ij,ij->i", self._xr[rows], self._x[cols])
         backward = np.einsum("ij,ij->i", self._xr[cols], self._x[rows])
         return forward + backward

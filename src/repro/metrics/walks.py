@@ -71,6 +71,11 @@ class PersonalizedPageRank(SimilarityMetric):
         rows, cols = pairs_to_indices(snapshot, pairs)
         return self._pi[rows, cols] + self._pi[cols, rows]
 
+    def score_block(self, block) -> np.ndarray:
+        self._require_fit()
+        rows, cols = block.rows, block.cols
+        return self._pi[rows, cols] + self._pi[cols, rows]
+
 
 @register
 class LocalRandomWalk(SimilarityMetric):
@@ -104,6 +109,13 @@ class LocalRandomWalk(SimilarityMetric):
     def score(self, pairs: np.ndarray) -> np.ndarray:
         snapshot = self._require_fit()
         rows, cols = pairs_to_indices(snapshot, pairs)
+        return self._score_at(rows, cols)
+
+    def score_block(self, block) -> np.ndarray:
+        self._require_fit()
+        return self._score_at(block.rows, block.cols)
+
+    def _score_at(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
         forward = self._deg[rows] / self._two_e * self._pm[rows, cols]
         backward = self._deg[cols] / self._two_e * self._pm[cols, rows]
         return forward + backward

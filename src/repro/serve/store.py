@@ -33,6 +33,7 @@ from repro.graph.dyngraph import TemporalGraph
 from repro.ingest import IngestPolicy, classify_event_line
 from repro.metrics.base import all_metric_names, get_metric
 from repro.metrics.candidates import candidate_pairs
+from repro.metrics.kernels import score_pairs
 
 #: fault-plan keys honoured by the store (see repro.eval.faults.before_key).
 PREDICT_FAULT_KEY = "serve.predict"
@@ -123,8 +124,9 @@ class ScoreStore:
 
         Runs entirely against the last-good snapshot.  Candidates are the
         metric's own enumeration strategy restricted to pairs touching
-        ``u``; scores come from the metric's registered scorer (warm
-        delta tables for CN/AA/RA, the usual sparse products otherwise),
+        ``u``; scores route through the batched kernel layer
+        (:func:`repro.metrics.kernels.score_pairs` — warm delta tables
+        for CN/AA/RA, shared neighbour-intersection blocks otherwise),
         so each value is bit-identical to the batch pipeline's score for
         the same pair on the same prefix.  Ranking is deterministic:
         descending score, ascending neighbour id on ties — a stable
@@ -146,7 +148,7 @@ class ScoreStore:
         predictions = []
         if len(mine):
             metric.fit(snapshot)
-            scores = np.asarray(metric.score(mine), dtype=np.float64)
+            scores = score_pairs(metric, snapshot, mine)
             others = np.where(mine[:, 0] == u, mine[:, 1], mine[:, 0])
             order = np.lexsort((others, -scores))[:k]
             predictions = [

@@ -12,7 +12,8 @@ class TestDiscovery:
     def test_available_metrics(self):
         names = available_metrics()
         assert "RA" in names and "Rescal" in names
-        assert len(names) == 15
+        assert "WRA" in names  # Section-7 weighted extensions registered too
+        assert len(names) == 18
 
     def test_available_classifiers(self):
         names = available_classifiers()

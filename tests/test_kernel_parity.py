@@ -1,0 +1,222 @@
+"""Differential suite for the batched kernel layer (repro.metrics.kernels).
+
+The kernel layer's contract is *bitwise* equality, not approximate: the
+delta engine and serving layer advertise bit-identical scores, so
+``score_block`` must replay the exact float additions of the legacy
+matrix path (see the SMMP accumulation-order note in the kernels module
+docstring).  This suite checks:
+
+- every registered metric (all 18) scores identically through
+  ``score_pairs`` and legacy ``score`` on a sparse and a dense snapshot;
+- parity survives multi-block splitting (small REPRO_KERNEL_BLOCK_PAIRS);
+- the three candidate-enumeration strategies produce identical arrays
+  (hypothesis-driven);
+- the delta engine's expansion-based seeding and dirty-pair rescoring
+  stay bitwise-equal to a from-scratch rebuild;
+- the serving read path returns kernel-routed scores equal to the legacy
+  scorer's.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+import repro.metrics  # noqa: F401  (registers all metrics)
+from repro.graph.delta import DeltaGraph
+from repro.graph.dyngraph import TemporalGraph
+from repro.graph.snapshots import Snapshot
+from repro.metrics.base import all_metric_names, get_metric
+from repro.metrics.candidates import (
+    ENUM_STRATEGY_KEY,
+    _blocked_two_hop_positions,
+    _dense_two_hop_positions,
+    _sparse_two_hop_positions,
+    candidate_pairs,
+    choose_enumeration_strategy,
+    two_hop_pairs,
+)
+from repro.metrics.kernels import blocks_for, score_pairs
+
+
+def random_snapshot(n: int, p: float, seed: int) -> Snapshot:
+    """Erdős–Rényi-ish snapshot with sparse non-contiguous node ids."""
+    rng = np.random.default_rng(seed)
+    iu, iv = np.triu_indices(n, k=1)
+    keep = rng.random(len(iu)) < p
+    iu, iv = iu[keep], iv[keep]
+    if len(iu) == 0:  # ensure at least a path so every metric can fit
+        iu, iv = np.asarray([0, 1]), np.asarray([1, 2])
+    ids = np.arange(10, 10 + 3 * n, 3)
+    order = rng.permutation(len(iu))
+    iu, iv = iu[order], iv[order]
+    times = np.sort(rng.uniform(0.0, 100.0, len(iu)))
+    trace = TemporalGraph.from_stream(
+        list(zip(ids[iu].tolist(), ids[iv].tolist(), times.tolist()))
+    )
+    return Snapshot(trace, trace.num_edges)
+
+
+@pytest.fixture(scope="module")
+def sparse_snapshot() -> Snapshot:
+    return random_snapshot(40, 0.08, 11)
+
+
+@pytest.fixture(scope="module")
+def dense_snapshot() -> Snapshot:
+    return random_snapshot(25, 0.35, 13)
+
+
+class TestScoreBlockParity:
+    """score_pairs == legacy score, bit for bit, for every registered metric."""
+
+    @pytest.mark.parametrize("name", sorted(all_metric_names()))
+    def test_sparse_snapshot(self, sparse_snapshot, name):
+        metric = get_metric(name).fit(sparse_snapshot)
+        pairs = candidate_pairs(sparse_snapshot, metric.candidate_strategy)
+        legacy = np.asarray(metric.score(pairs), dtype=np.float64)
+        kernel = score_pairs(metric, sparse_snapshot, pairs)
+        assert np.array_equal(legacy, kernel), name
+
+    @pytest.mark.parametrize("name", sorted(all_metric_names()))
+    def test_dense_snapshot(self, dense_snapshot, name):
+        metric = get_metric(name).fit(dense_snapshot)
+        pairs = candidate_pairs(dense_snapshot, metric.candidate_strategy)
+        legacy = np.asarray(metric.score(pairs), dtype=np.float64)
+        kernel = score_pairs(metric, dense_snapshot, pairs)
+        assert np.array_equal(legacy, kernel), name
+
+    @pytest.mark.parametrize("name", ["CN", "JC", "AA", "RA", "BRA", "LP"])
+    def test_multi_block_split(self, sparse_snapshot, name, monkeypatch):
+        """Splitting into many tiny blocks must not change a single bit."""
+        monkeypatch.setenv("REPRO_KERNEL_BLOCK_PAIRS", "7")
+        metric = get_metric(name).fit(sparse_snapshot)
+        pairs = candidate_pairs(sparse_snapshot, metric.candidate_strategy)
+        blocks = blocks_for(sparse_snapshot, pairs)
+        assert len(blocks) > 1
+        legacy = np.asarray(metric.score(pairs), dtype=np.float64)
+        kernel = score_pairs(metric, sparse_snapshot, pairs)
+        assert np.array_equal(legacy, kernel)
+
+    def test_empty_pairs(self, sparse_snapshot):
+        metric = get_metric("CN").fit(sparse_snapshot)
+        out = score_pairs(metric, sparse_snapshot, np.zeros((0, 2), dtype=np.int64))
+        assert out.shape == (0,) and out.dtype == np.float64
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        n=st.integers(min_value=4, max_value=28),
+        p=st.floats(min_value=0.05, max_value=0.5),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    def test_neighbourhood_family_random_graphs(self, n, p, seed):
+        """The expansion-backed family, hypothesis-driven (cheap fits only)."""
+        snapshot = random_snapshot(n, p, seed)
+        from repro.metrics.naive_bayes import prior_constant
+
+        # The LNB prior s = n(n-1)/(2|E|) - 1 needs log(s) to exist, which
+        # degenerate near-complete graphs violate; that is a property of the
+        # metric, not of the kernel under test.
+        assume(prior_constant(snapshot) > 0.0)
+        pairs = two_hop_pairs(snapshot)
+        for name in ("CN", "JC", "AA", "RA", "BCN", "BAA", "BRA"):
+            metric = get_metric(name).fit(snapshot)
+            legacy = np.asarray(metric.score(pairs), dtype=np.float64)
+            kernel = score_pairs(metric, snapshot, pairs)
+            assert np.array_equal(legacy, kernel), name
+
+
+class TestEnumerationStrategies:
+    """sparse / dense / blocked enumerations return identical arrays."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n=st.integers(min_value=3, max_value=60),
+        p=st.floats(min_value=0.01, max_value=0.6),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    def test_identical_output(self, n, p, seed):
+        snapshot = random_snapshot(n, p, seed)
+        sparse = _sparse_two_hop_positions(snapshot)
+        dense = _dense_two_hop_positions(snapshot)
+        blocked = _blocked_two_hop_positions(snapshot)
+        for label, (rows, cols) in (("dense", dense), ("blocked", blocked)):
+            assert np.array_equal(sparse[0], rows), label
+            assert np.array_equal(sparse[1], cols), label
+
+    def test_forced_strategy_same_pairs(self, monkeypatch):
+        baseline = two_hop_pairs(random_snapshot(30, 0.15, 5))
+        for strategy in ("sparse", "dense", "blocked"):
+            monkeypatch.setenv("REPRO_ENUM_STRATEGY", strategy)
+            snapshot = random_snapshot(30, 0.15, 5)
+            assert choose_enumeration_strategy(snapshot) == strategy
+            assert np.array_equal(two_hop_pairs(snapshot), baseline)
+            assert snapshot.cache[ENUM_STRATEGY_KEY] == strategy
+
+    def test_invalid_override_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENUM_STRATEGY", "quantum")
+        with pytest.raises(ValueError, match="REPRO_ENUM_STRATEGY"):
+            choose_enumeration_strategy(random_snapshot(10, 0.2, 1))
+
+    def test_strategy_recorded_in_cache(self):
+        snapshot = random_snapshot(30, 0.15, 5)
+        two_hop_pairs(snapshot)
+        assert snapshot.cache[ENUM_STRATEGY_KEY] in ("sparse", "dense", "blocked")
+
+
+class TestDeltaRoute:
+    """Expansion-based seeding / dirty rescoring == from-scratch rebuild."""
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        n=st.integers(min_value=5, max_value=20),
+        p=st.floats(min_value=0.1, max_value=0.4),
+        seed=st.integers(min_value=0, max_value=2**31),
+        extra=st.integers(min_value=1, max_value=6),
+    )
+    def test_dirty_rescoring_bitwise(self, n, p, seed, extra):
+        full = random_snapshot(n, p, seed)
+        events = list(full.trace.edges())
+        if len(events) <= extra:
+            return
+        prefix = events[:-extra]
+        batch = events[-extra:]
+        delta = DeltaGraph(TemporalGraph.from_stream(prefix))
+        delta.apply(batch)
+        snap = delta.materialize()
+        rebuilt = Snapshot(
+            TemporalGraph.from_stream(events), len(events)
+        )
+        pairs = two_hop_pairs(rebuilt)
+        assert np.array_equal(two_hop_pairs(snap), pairs)
+        for name in ("CN", "AA", "RA"):
+            metric_warm = get_metric(name).fit(snap)
+            metric_cold = get_metric(name).fit(rebuilt)
+            warm = score_pairs(metric_warm, snap, two_hop_pairs(snap))
+            cold = score_pairs(metric_cold, rebuilt, pairs)
+            assert np.array_equal(warm, cold), name
+
+
+class TestServeRoute:
+    """The serving read path routes through the kernel layer unchanged."""
+
+    def test_predict_scores_match_legacy(self):
+        from repro.serve.store import ScoreStore
+
+        snapshot = random_snapshot(20, 0.2, 3)
+        store = ScoreStore(snapshot.trace)
+        served = store._snapshot
+        u = int(served.node_ids[0])
+        result = store.predict(u, 5, "AA")
+        pairs = candidate_pairs(served, "two_hop")
+        mask = (pairs[:, 0] == u) | (pairs[:, 1] == u)
+        mine = pairs[mask]
+        metric = get_metric("AA").fit(served)
+        legacy = np.asarray(metric.score(mine), dtype=np.float64)
+        others = np.where(mine[:, 0] == u, mine[:, 1], mine[:, 0])
+        expected = {
+            int(v): float(s) for v, s in zip(others.tolist(), legacy.tolist())
+        }
+        assert result["predictions"], "expected at least one candidate"
+        for prediction in result["predictions"]:
+            assert expected[prediction["v"]] == prediction["score"]

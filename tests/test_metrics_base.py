@@ -19,11 +19,12 @@ from repro.metrics.base import (
 EXPECTED_NAMES = {
     "CN", "JC", "AA", "RA", "BCN", "BAA", "BRA",
     "LP", "SP", "PA", "PPR", "LRW", "Katz_lr", "Katz_sc", "Rescal",
+    "WCN", "WAA", "WRA",
 }
 
 
 class TestRegistry:
-    def test_all_fifteen_registered(self):
+    def test_all_eighteen_registered(self):
         assert set(all_metric_names()) == EXPECTED_NAMES
 
     def test_get_metric_returns_fresh_instance(self):

@@ -9,6 +9,7 @@ from repro.metrics.candidates import (
     candidate_pairs,
     num_nonedge_pairs,
     random_nonedge_pairs,
+    seed_candidate_cache,
     two_hop_pairs,
 )
 
@@ -35,6 +36,50 @@ class TestTwoHopPairs:
         pairs = two_hop_pairs(s)
         assert (pairs[:, 0] < pairs[:, 1]).all()
         assert len({tuple(p) for p in pairs}) == len(pairs)
+
+
+class TestSeedCandidateCache:
+    """Validation/canonicalisation of externally seeded candidate arrays."""
+
+    def test_canonical_array_installed_by_identity(self, tiny_snapshot):
+        canon = two_hop_pairs(tiny_snapshot).copy()
+        seed_candidate_cache(tiny_snapshot, canon)
+        assert two_hop_pairs(tiny_snapshot) is canon
+
+    def test_swapped_columns_are_canonicalised(self, tiny_snapshot):
+        canon = two_hop_pairs(tiny_snapshot).copy()
+        seed_candidate_cache(tiny_snapshot, canon[:, ::-1])
+        assert np.array_equal(two_hop_pairs(tiny_snapshot), canon)
+
+    def test_shuffled_rows_are_resorted(self, tiny_snapshot):
+        canon = two_hop_pairs(tiny_snapshot).copy()
+        rng = np.random.default_rng(0)
+        seed_candidate_cache(tiny_snapshot, canon[rng.permutation(len(canon))])
+        assert np.array_equal(two_hop_pairs(tiny_snapshot), canon)
+
+    def test_bad_shape_rejected(self, tiny_snapshot):
+        with pytest.raises(ValueError, match="shape"):
+            seed_candidate_cache(tiny_snapshot, np.asarray([0, 1, 2]))
+
+    def test_float_dtype_rejected(self, tiny_snapshot):
+        with pytest.raises(ValueError, match="integer"):
+            seed_candidate_cache(tiny_snapshot, np.asarray([[0.5, 1.5]]))
+
+    def test_self_pair_rejected(self, tiny_snapshot):
+        with pytest.raises(ValueError, match="self-pair"):
+            seed_candidate_cache(tiny_snapshot, np.asarray([[3, 3]]))
+
+    def test_unknown_node_rejected(self, tiny_snapshot):
+        with pytest.raises(ValueError, match="unknown node"):
+            seed_candidate_cache(tiny_snapshot, np.asarray([[0, 999]]))
+
+    def test_duplicate_pair_rejected(self, tiny_snapshot):
+        with pytest.raises(ValueError, match="duplicate"):
+            seed_candidate_cache(tiny_snapshot, np.asarray([[0, 4], [4, 0]]))
+
+    def test_empty_seed_accepted(self, tiny_snapshot):
+        seed_candidate_cache(tiny_snapshot, np.zeros((0, 2), dtype=np.int64))
+        assert len(two_hop_pairs(tiny_snapshot)) == 0
 
 
 class TestAllNonedgePairs:
