@@ -12,12 +12,19 @@ experiment run a JSON ``ExperimentSpec`` (alias: ``run``; ``--jobs N``
 audit      diagnose a trace file: ingest taxonomy + graph-integrity audit
 trace      inspect a recorded telemetry trace (``summary`` / ``show``)
 serve      online link-prediction HTTP service over a trace's delta engine
+           (``--wal DIR`` adds WAL-backed durability + crash recovery)
+recover    offline WAL recovery: checkpoint + replay + integrity audit
+wal        WAL maintenance (``verify``: classify clean / torn / corrupt)
 
 Exit codes
 ----------
-0    success (for ``audit``: the trace is clean)
-1    ``audit`` found flagged events or integrity violations
-2    usage, spec, or I/O error (bad arguments, unreadable files)
+0    success (for ``audit``: the trace is clean; for ``wal verify``: the
+     log is clean; for ``recover``: recovered state passed its audit)
+1    ``audit`` found flagged events or integrity violations; ``wal
+     verify`` found a torn tail or corruption; ``recover`` failed its
+     post-replay audit or hit WAL corruption
+2    usage, spec, or I/O error (bad arguments, unreadable files, a WAL
+     bound to a different trace/policy)
 130  interrupted (Ctrl-C); journaled runs resume with the same --journal
 
 Examples
@@ -374,13 +381,48 @@ def cmd_serve(args) -> int:
         breaker_cooldown_s=args.breaker_cooldown_s,
         audit_every=args.audit_every,
         policy=args.policy,
+        wal_dir=args.wal,
+        fsync=args.fsync,
+        fsync_interval_s=args.fsync_interval_s,
+        checkpoint_every=args.checkpoint_every,
+        checkpoint_keep=args.checkpoint_keep,
     )
+    policy = IngestPolicy.from_string(args.policy)
+    manager = None
+    recovery = None
+    store_trace = trace
+    if args.wal:
+        from repro.serve import DurabilityManager
+
+        # Mismatch/corruption surfaces here as a ValueError -> exit 2:
+        # an operator pointed the server at the wrong WAL directory.
+        manager, recovery = DurabilityManager.attach(
+            args.wal,
+            trace,
+            policy,
+            fsync=args.fsync,
+            fsync_interval_s=args.fsync_interval_s,
+            checkpoint_every=args.checkpoint_every,
+            checkpoint_keep=args.checkpoint_keep,
+        )
+        if recovery is not None:
+            if recovery.start_trace is not None:
+                # serve degraded reads from the checkpoint immediately;
+                # the WAL tail replays in the background before /readyz.
+                store_trace = recovery.start_trace
+            print(
+                f"recovering from {args.wal}: checkpoint seq "
+                f"{recovery.checkpoint_seq}, {len(recovery.records)} WAL "
+                f"records ({recovery.events} events) to replay",
+                file=sys.stderr,
+            )
     store = ScoreStore(
-        trace,
-        policy=IngestPolicy.from_string(args.policy),
+        store_trace,
+        policy=policy,
         audit_every=args.audit_every,
+        durability=manager,
     )
-    server = LinkPredictionServer(store, config)
+    server = LinkPredictionServer(store, config, recovery=recovery)
 
     async def _run() -> bool:
         await server.start()
@@ -404,6 +446,64 @@ def cmd_serve(args) -> int:
         file=sys.stderr,
     )
     return 0 if clean else 1
+
+
+def cmd_recover(args) -> int:
+    """Offline WAL recovery: checkpoint + replay + mandatory audit.
+
+    Exit 0 when the recovered engine passed its integrity audit, 1 when
+    replay succeeded but the audit flagged violations (or the WAL is
+    corrupt mid-file), 2 when the WAL belongs to a different trace/policy
+    or the arguments are unusable.
+    """
+    from repro.graph.wal import RecoveryError, WalCorruptError, recover_state
+    from repro.ingest import IngestPolicy
+
+    trace = _load_trace(args)
+    policy = IngestPolicy.from_string(args.policy)
+    try:
+        result = recover_state(args.wal_dir, trace, policy)
+    except RecoveryError as exc:
+        print(json.dumps(exc.result.describe(), indent=2))
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except WalCorruptError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(json.dumps(result.describe(), indent=2))
+    snapshot = result.engine.materialize()
+    print(
+        f"recovered state: {snapshot.num_edges} edges, "
+        f"{snapshot.num_nodes} nodes, audit clean",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def cmd_wal_verify(args) -> int:
+    """Classify one WAL: 0 clean, 1 torn tail or corruption, 2 usage."""
+    import os
+
+    from repro.graph.wal import WAL_FILE, verify_wal
+
+    path = args.path
+    if os.path.isdir(path):
+        path = os.path.join(path, WAL_FILE)
+    report = verify_wal(path)  # missing/unreadable file -> OSError -> 2
+    print(
+        json.dumps(
+            {
+                "path": report.path,
+                "status": report.status,
+                "records": report.records,
+                "events": report.events,
+                "torn_bytes": report.torn_bytes,
+                "detail": report.detail,
+            },
+            indent=2,
+        )
+    )
+    return 0 if report.clean else 1
 
 
 def cmd_suggest(args) -> int:
@@ -621,7 +721,69 @@ def build_parser() -> argparse.ArgumentParser:
         help="record per-request spans + queue/latency metrics to PATH "
         "(JSONL; also enables GET /metricz)",
     )
+    p.add_argument(
+        "--wal",
+        metavar="DIR",
+        help="durable mode: write-ahead-log accepted ingest batches to "
+        "DIR (created if missing) and recover from it on restart; "
+        "/readyz stays 503 until replay + audit complete",
+    )
+    p.add_argument(
+        "--fsync",
+        default="always",
+        choices=["always", "interval", "never"],
+        help="WAL fsync cadence: 'always' fsyncs before every ack (RPO "
+        "0), 'interval' group-commits every --fsync-interval-s, 'never' "
+        "leaves syncing to the kernel (default: always)",
+    )
+    p.add_argument(
+        "--fsync-interval-s",
+        type=_positive_float,
+        default=0.05,
+        metavar="S",
+        help="group-commit interval for --fsync interval (default 0.05)",
+    )
+    p.add_argument(
+        "--checkpoint-every",
+        type=_nonnegative_int,
+        default=64,
+        metavar="N",
+        help="write a recovery checkpoint after every Nth WAL-logged "
+        "batch (0 = only on clean drain; default 64)",
+    )
+    p.add_argument(
+        "--checkpoint-keep",
+        type=_positive_int,
+        default=3,
+        metavar="N",
+        help="checkpoints retained on disk; older ones are pruned "
+        "(default 3)",
+    )
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "recover",
+        help="offline WAL recovery: checkpoint + replay + integrity audit",
+        epilog=_EXIT_CODES_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    p.add_argument("wal_dir", help="WAL directory written by serve --wal")
+    _add_trace_arguments(p)
+    p.set_defaults(func=cmd_recover)
+
+    p = sub.add_parser(
+        "wal",
+        help="WAL maintenance commands",
+        epilog=_EXIT_CODES_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    wal_sub = p.add_subparsers(dest="wal_command", required=True)
+    pw = wal_sub.add_parser(
+        "verify",
+        help="classify a WAL: exit 0 clean, 1 torn tail/corrupt, 2 usage",
+    )
+    pw.add_argument("path", help="WAL file or directory containing wal.log")
+    pw.set_defaults(func=cmd_wal_verify)
 
     p = sub.add_parser(
         "trace", help="inspect a recorded telemetry trace file"

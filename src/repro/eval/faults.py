@@ -24,13 +24,20 @@ Determinism rules:
 
 Fault kinds:
 
-``kill``   ``os._exit(KILL_EXIT_CODE)`` mid-cell — an OOM-kill stand-in;
-           the driver observes ``BrokenProcessPool`` and rebuilds.
-``errors`` raise :class:`InjectedFault` — an ordinary exception failure.
-``delays`` sleep before the cell — trips *soft* (in-process) deadlines.
-``hangs``  sleep while swallowing :class:`CellTimeoutError` — simulates
-           a wedged C call that the soft deadline cannot interrupt, so
-           only the driver's *hard* deadline can reclaim the worker.
+``kill``    ``os._exit(KILL_EXIT_CODE)`` mid-cell — an OOM-kill stand-in;
+            the driver observes ``BrokenProcessPool`` and rebuilds.
+``errors``  raise :class:`InjectedFault` — an ordinary exception failure.
+``delays``  sleep before the cell — trips *soft* (in-process) deadlines.
+``hangs``   sleep while swallowing :class:`CellTimeoutError` — simulates
+            a wedged C call that the soft deadline cannot interrupt, so
+            only the driver's *hard* deadline can reclaim the worker.
+``crashes`` ``os._exit(KILL_EXIT_CODE)`` in *any* process, and on exactly
+            the scheduled invocation (``attempt == n``) rather than the
+            first N — the crash-anywhere recovery harness uses this to
+            SIGKILL a whole server at the k-th ``wal.append`` /
+            ``wal.fsync`` / ``checkpoint.write`` fault point.  Because the
+            restarted process runs without the plan, a crash schedule
+            never loops.
 
 The plan travels to workers automatically: an installed plan is
 inherited by forked workers, and the environment variable reaches
@@ -76,6 +83,8 @@ class FaultPlan:
     delays: "dict[str, tuple[float, int]]" = field(default_factory=dict)
     #: cell -> (hang seconds, attempts); ignores the soft deadline.
     hangs: "dict[str, tuple[float, int]]" = field(default_factory=dict)
+    #: key -> invocation index on which to hard-exit the whole process.
+    crashes: "dict[str, int]" = field(default_factory=dict)
     #: chance of InjectedFault on any cell's first attempt (0 disables).
     error_probability: float = 0.0
     #: seed of the probabilistic injections' hash.
@@ -84,6 +93,11 @@ class FaultPlan:
     def validate(self) -> None:
         if not 0.0 <= self.error_probability <= 1.0:
             raise ValueError("error_probability must be within [0, 1]")
+        for key, index in self.crashes.items():
+            if int(index) < 0:
+                raise ValueError(
+                    f"crashes[{key!r}] must be a non-negative invocation index"
+                )
         for name, table in (("delays", self.delays), ("hangs", self.hangs)):
             for key, entry in table.items():
                 if len(tuple(entry)) != 2 or float(entry[0]) < 0:
@@ -98,6 +112,7 @@ class FaultPlan:
             "errors": self.errors,
             "delays": {k: list(v) for k, v in self.delays.items()},
             "hangs": {k: list(v) for k, v in self.hangs.items()},
+            "crashes": self.crashes,
             "error_probability": self.error_probability,
             "seed": self.seed,
         }
@@ -117,6 +132,7 @@ class FaultPlan:
                 k: (float(v[0]), int(v[1]))
                 for k, v in payload.get("hangs", {}).items()
             },
+            crashes={k: int(v) for k, v in payload.get("crashes", {}).items()},
             error_probability=float(payload.get("error_probability", 0.0)),
             seed=int(payload.get("seed", 0)),
         )
@@ -203,6 +219,8 @@ def before_key(key: str, attempt: int = 0) -> None:
     if hang is not None and attempt < hang[1]:
         _hang(hang[0])
     if attempt < plan.kill.get(key, 0) and in_worker():
+        os._exit(KILL_EXIT_CODE)
+    if plan.crashes.get(key, -1) == attempt:
         os._exit(KILL_EXIT_CODE)
     if attempt < plan.errors.get(key, 0):
         raise InjectedFault(f"injected error on {key} attempt {attempt}")

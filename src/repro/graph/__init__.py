@@ -14,6 +14,19 @@ from repro.graph.dyngraph import TemporalGraph
 from repro.graph.sampling import snowball_sample
 from repro.graph.snapshots import Snapshot, snapshot_sequence
 from repro.graph.stats import GraphFeatures, graph_features
+from repro.graph.wal import (
+    RecoveryError,
+    RecoveryResult,
+    WalCorruptError,
+    WalError,
+    WalMismatchError,
+    WalRecord,
+    WriteAheadLog,
+    recover_state,
+    scan_wal,
+    verify_wal,
+    wal_fingerprint,
+)
 
 __all__ = [
     "TemporalGraph",
@@ -29,4 +42,15 @@ __all__ = [
     "DeltaGraph",
     "DeltaReport",
     "IncrementalNeighborhood",
+    "RecoveryError",
+    "RecoveryResult",
+    "WalCorruptError",
+    "WalError",
+    "WalMismatchError",
+    "WalRecord",
+    "WriteAheadLog",
+    "recover_state",
+    "scan_wal",
+    "verify_wal",
+    "wal_fingerprint",
 ]

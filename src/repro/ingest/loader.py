@@ -280,11 +280,33 @@ def _parse_block(
 ) -> None:
     """Parse one block of stripped data lines into column chunks.
 
-    Fast path: group lines by field count (3-column timestamped, 2-column
-    legacy with synthetic line-number timestamps) and convert each group's
-    tokens with one C-level ``np.array`` call.  Any conversion failure
-    falls back to per-line classification for that group only.
+    Fast path: a block whose every line is exactly ``u<SP>v<SP>t`` (one
+    single space between fields — what ``write_trace`` and every crawler
+    fixture emit) is tokenised with ONE ``str.join`` + ``str.split`` and
+    three strided ``np.array`` conversions: no per-line ``split()`` lists,
+    no Python-level transpose.  The per-line guard is exact — each line
+    contributes exactly three tokens, so the ``[0::3]/[1::3]/[2::3]``
+    strides cannot mis-align (a token-count-only check would: a 4-token
+    line followed by a 2-token line still sums to 3N).  Any other
+    whitespace shape, or a failed numeric conversion, falls through to
+    the grouped path below (3-column timestamped, 2-column legacy with
+    synthetic line-number timestamps; one bulk conversion per group,
+    per-line classification only for groups that fail it).
     """
+    if all(
+        "\t" not in line and line.count(" ") == 2 and "  " not in line
+        for line in lines
+    ):
+        tokens = " ".join(lines).split(" ")
+        try:
+            u = np.array(tokens[0::3], dtype=np.int64)
+            v = np.array(tokens[1::3], dtype=np.int64)
+            t = np.array(tokens[2::3], dtype=np.float64)
+        except (ValueError, OverflowError):
+            pass  # a dirty line hides in the block; classify it below
+        else:
+            out.append(np.asarray(linenos, dtype=np.int64), u, v, t)
+            return
     parts = [line.split() for line in lines]
     # Homogeneous all-timestamped block (the overwhelmingly common shape):
     # transpose with one C-level zip and convert each column directly.

@@ -17,6 +17,8 @@ Layout (each robustness mechanism is its own importable, testable unit):
 :mod:`~.breaker`      write-path circuit breaker (closed/open/half-open)
 :mod:`~.store`        ``ScoreStore`` — last-good snapshot reads, policied
                       delta writes, fault hooks
+:mod:`~.durability`   ``DurabilityManager`` — WAL group commit, checkpoint
+                      cadence, startup recovery plans
 :mod:`~.protocol`     minimal HTTP/1.1 framing over asyncio streams
 :mod:`~.app`          ``LinkPredictionServer`` — routing, workers, drain
 :mod:`~.client`       async + sync HTTP clients (tests, bench, smoke)
@@ -32,6 +34,7 @@ from repro.serve.app import DEGRADED_HEADER, LinkPredictionServer
 from repro.serve.breaker import BreakerOpen, CircuitBreaker
 from repro.serve.client import ClientResponse, request, sync_request
 from repro.serve.config import ServeConfig, default_workers
+from repro.serve.durability import DurabilityManager, RecoveryPlan
 from repro.serve.harness import ServerHarness
 from repro.serve.store import (
     INGEST_FAULT_KEY,
@@ -49,6 +52,8 @@ __all__ = [
     "ClientResponse",
     "DEGRADED_HEADER",
     "DeadlineExceeded",
+    "DurabilityManager",
+    "RecoveryPlan",
     "INGEST_FAULT_KEY",
     "IngestRejected",
     "Job",

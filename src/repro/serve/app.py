@@ -86,9 +86,21 @@ class ServerStats:
 class LinkPredictionServer:
     """One server instance bound to a :class:`ScoreStore`."""
 
-    def __init__(self, store: ScoreStore, config: ServeConfig) -> None:
+    def __init__(
+        self, store: ScoreStore, config: ServeConfig, *, recovery=None
+    ) -> None:
         self.store = store
         self.config = config
+        #: pending :class:`~repro.serve.durability.RecoveryPlan` — while
+        #: set, reads serve the checkpoint snapshot with a "recovering"
+        #: degraded header, writes 503, and /readyz stays unready until
+        #: the background replay + audit completes.
+        self._recovery_plan = recovery
+        self._recovering = recovery is not None
+        self._recovery_error: "str | None" = None
+        self._recovery_result: "dict | None" = None
+        self._recovery_task: "asyncio.Task | None" = None
+        self._durability_task: "asyncio.Task | None" = None
         self.queue = AdmissionQueue(config.queue_size)
         self.breaker = CircuitBreaker(
             config.breaker_threshold, config.breaker_cooldown_s
@@ -127,6 +139,10 @@ class LinkPredictionServer:
         ]
         if telemetry.tracer.enabled and self.config.telemetry_flush_s:
             self._flusher_task = asyncio.ensure_future(self._flush_loop())
+        if self._recovering:
+            self._recovery_task = asyncio.ensure_future(self._recover())
+        if self.store.durability is not None and self.config.fsync == "interval":
+            self._durability_task = asyncio.ensure_future(self._durability_loop())
 
     def request_shutdown(self) -> None:
         """Signal-safe shutdown trigger (call from loop signal handlers)."""
@@ -165,6 +181,19 @@ class LinkPredictionServer:
                 clean = False
         if self._flusher_task is not None:
             self._flusher_task.cancel()
+        if self._durability_task is not None:
+            self._durability_task.cancel()
+        if self._recovery_task is not None and not self._recovery_task.done():
+            # a drain mid-recovery waits for the replay (bounded by the
+            # same budget) so the final checkpoint reflects it.
+            try:
+                await asyncio.wait_for(self._recovery_task, self.config.drain_s)
+            except asyncio.TimeoutError:
+                self._recovery_task.cancel()
+                clean = False
+        # final fsync + checkpoint: a cleanly drained server restarts
+        # from a checkpoint instead of replaying its whole WAL.
+        self.store.finalize_durability()
         self._executor.shutdown(wait=False)
         self.stats.drained_clean = clean
         telemetry.flush()
@@ -175,6 +204,49 @@ class LinkPredictionServer:
         while True:
             await asyncio.sleep(self.config.telemetry_flush_s)
             telemetry.flush()
+
+    async def _durability_loop(self) -> None:
+        """Group-commit heartbeat: fsync pending WAL records each interval."""
+        manager = self.store.durability
+        while True:
+            await asyncio.sleep(self.config.fsync_interval_s)
+            await asyncio.get_running_loop().run_in_executor(
+                self._executor, manager.tick
+            )
+
+    async def _recover(self) -> None:
+        """Background WAL replay: checkpoint state is already serving reads.
+
+        Runs under the write lock (no ingest can interleave), replays the
+        surviving records into the engine, audits, and only then flips
+        the server ready.  Failure — a replay error or a dirty audit —
+        leaves the server permanently degraded (reads keep the checkpoint
+        snapshot, writes stay 503) rather than serving unverified state;
+        /readyz reports the reason so orchestrators route traffic away.
+        """
+        plan = self._recovery_plan
+        loop = asyncio.get_running_loop()
+        started = monotonic()
+        async with self._write_lock:
+            try:
+                result = await loop.run_in_executor(
+                    self._executor, self.store.replay_wal, plan.records
+                )
+            except Exception as exc:  # noqa: BLE001 — recovery verdict
+                self._recovery_error = f"{type(exc).__name__}: {exc}"
+                if telemetry.metrics.enabled:
+                    telemetry.metrics.counter("serve.recovery_failures").inc()
+                return
+            self._recovery_result = {
+                **plan.describe(),
+                **result,
+                "duration_s": round(monotonic() - started, 6),
+            }
+            self._recovering = False
+        if telemetry.tracer.enabled:
+            telemetry.tracer.record(
+                "serve.recovery", started, monotonic(), attrs=plan.describe()
+            )
 
     # ------------------------------------------------------------------
     # Workers
@@ -325,6 +397,8 @@ class LinkPredictionServer:
         return 404, error_body(404, f"no route for {path}"), {}
 
     def _degraded_headers(self) -> dict:
+        if self._recovering:
+            return {DEGRADED_HEADER: "recovering"}
         if self.breaker.degraded:
             return {DEGRADED_HEADER: "stale-snapshot"}
         return {}
@@ -341,6 +415,11 @@ class LinkPredictionServer:
         reasons = []
         if self._draining:
             reasons.append("draining")
+        if self._recovering:
+            if self._recovery_error is not None:
+                reasons.append(f"recovery failed: {self._recovery_error}")
+            else:
+                reasons.append("recovering")
         if self.breaker.degraded:
             reasons.append(f"breaker {self.breaker.state}")
         if not reasons:
@@ -366,6 +445,14 @@ class LinkPredictionServer:
             "breaker": self.breaker.describe(),
             "server": self.stats.describe(),
         }
+        if self.store.durability is not None:
+            durability = self.store.durability.describe()
+            durability["recovering"] = self._recovering
+            if self._recovery_error is not None:
+                durability["recovery_error"] = self._recovery_error
+            if self._recovery_result is not None:
+                durability["recovery"] = self._recovery_result
+            payload["durability"] = durability
         return 200, json_body(payload), {}
 
     def _metricz(self) -> Response:
@@ -439,6 +526,19 @@ class LinkPredictionServer:
         return status, body, {**headers, **self._degraded_headers()}
 
     async def _ingest(self, request: Request) -> Response:
+        if self._recovering:
+            # writes would race the WAL replay (and, post-recovery-
+            # failure, extend unverified state); reads stay up degraded.
+            detail = (
+                "recovery failed; server is read-only"
+                if self._recovery_error is not None
+                else "recovering from WAL; write path not yet open"
+            )
+            return (
+                503,
+                error_body(503, detail),
+                {"Retry-After": "1", **self._degraded_headers()},
+            )
         # Fast-fail at the door only in the *open* state, via the
         # non-consuming state property — the half-open probe slot is
         # claimed later, under the write lock, by the worker that will
@@ -497,6 +597,12 @@ class LinkPredictionServer:
                     raise
                 raise StoreWriteError(f"{type(exc).__name__}: {exc}") from exc
             self.breaker.record_success()
+            if self.store.durability is not None:
+                # cadence-gated; still under the write lock so the
+                # checkpointed trace is exactly the WAL's sequence.
+                await loop.run_in_executor(
+                    self._executor, self.store.checkpoint_if_due
+                )
             return payload
 
     async def _admitted(self, name: str, run, deadline_s: float) -> Response:

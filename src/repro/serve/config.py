@@ -71,6 +71,17 @@ class ServeConfig:
     keepalive_s: float = 30.0
     #: periodic telemetry span flush interval (0 disables the flusher).
     telemetry_flush_s: float = 1.0
+    #: WAL directory (None = in-memory only, no durability).
+    wal_dir: "str | None" = None
+    #: WAL fsync cadence: "always" (fsync before every ack), "interval"
+    #: (group commit every ``fsync_interval_s``), "never" (kernel only).
+    fsync: str = "always"
+    #: group-commit interval for ``fsync="interval"``.
+    fsync_interval_s: float = 0.05
+    #: checkpoint after every Nth WAL-logged batch (0 = only on drain).
+    checkpoint_every: int = 64
+    #: checkpoints retained on disk (older ones pruned).
+    checkpoint_keep: int = 3
     #: resolved at construction; access via ``resolved_workers``.
     _workers_resolved: int = field(init=False, default=0, repr=False)
 
@@ -110,6 +121,24 @@ class ServeConfig:
         if self.telemetry_flush_s < 0:
             raise ValueError(
                 f"telemetry_flush_s must be >= 0, got {self.telemetry_flush_s!r}"
+            )
+        if self.fsync not in ("always", "interval", "never"):
+            raise ValueError(
+                f"fsync must be 'always', 'interval', or 'never', got "
+                f"{self.fsync!r}"
+            )
+        if not float(self.fsync_interval_s) > 0:
+            raise ValueError(
+                f"fsync_interval_s must be positive, got {self.fsync_interval_s!r}"
+            )
+        if self.checkpoint_every < 0:
+            raise ValueError(
+                f"checkpoint_every must be >= 0, got {self.checkpoint_every!r}"
+            )
+        if not isinstance(self.checkpoint_keep, int) or self.checkpoint_keep < 1:
+            raise ValueError(
+                f"checkpoint_keep must be a positive integer, got "
+                f"{self.checkpoint_keep!r}"
             )
         if self.deadline_s > self.max_deadline_s:
             raise ValueError(

@@ -30,10 +30,13 @@ class ServerHarness:
         config: "ServeConfig | None" = None,
         *,
         store: "ScoreStore | None" = None,
+        recovery=None,
     ) -> None:
         self.config = config if config is not None else ServeConfig(port=0)
         self.store = store if store is not None else ScoreStore(trace)
-        self.server = LinkPredictionServer(self.store, self.config)
+        self.server = LinkPredictionServer(
+            self.store, self.config, recovery=recovery
+        )
         self.loop: "asyncio.AbstractEventLoop | None" = None
         self._thread: "threading.Thread | None" = None
         self._ready = threading.Event()

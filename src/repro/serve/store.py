@@ -74,11 +74,16 @@ class ScoreStore:
         *,
         policy: "IngestPolicy | None" = None,
         audit_every: int = 0,
+        durability=None,
     ) -> None:
         if trace.num_edges == 0:
             raise ValueError("cannot serve an empty trace")
         self.policy = policy if policy is not None else IngestPolicy.default()
         self.audit_every = audit_every
+        #: optional :class:`~repro.serve.durability.DurabilityManager`;
+        #: when set, accepted batches are WAL-logged before they are
+        #: applied, so an ack always implies a replayable record.
+        self.durability = durability
         self._engine = DeltaGraph(trace)
         self._snapshot = self._engine.materialize()
         self._batches_accepted = 0
@@ -106,6 +111,7 @@ class ScoreStore:
             "engine_edges": self._engine.num_edges,
             "batches_accepted": self._batches_accepted,
             "poisoned": self._poisoned,
+            "durable": self.durability is not None,
             "metrics": all_metric_names(),
         }
 
@@ -191,9 +197,27 @@ class ScoreStore:
             raise StoreWriteError(
                 "engine poisoned by an earlier audit failure; resync required"
             )
+        logged = False
+        if self.durability is not None and events:
+            # WAL-before-apply: screening already enforced everything
+            # ``apply`` validates (finite, non-negative, non-decreasing
+            # past the stream end), so a logged batch always replays.
+            # A WAL write failure aborts before any in-memory mutation —
+            # the StoreWriteError trips the breaker and the server
+            # degrades to read-only rather than acking non-durable data.
+            try:
+                self.durability.record_batch(events)
+            except OSError as exc:
+                raise StoreWriteError(f"WAL append failed: {exc}") from exc
+            logged = True
         try:
             report = self._engine.apply(events)
         except ValueError as exc:
+            if logged:
+                # The WAL now holds a record the engine does not: the
+                # in-memory state is behind the durable log and only a
+                # restart (recovery replays the WAL) reconverges them.
+                self._poisoned = True
             raise StoreWriteError(f"delta apply rejected the batch: {exc}") from exc
         self._batches_accepted += 1
         if self.audit_every and self._batches_accepted % self.audit_every == 0:
@@ -231,6 +255,50 @@ class ScoreStore:
         self._engine = DeltaGraph(good.trace.prefix(good.num_edges))
         self._snapshot = self._engine.materialize()
         self._poisoned = False
+
+    # ------------------------------------------------------------------
+    # Durability path
+    # ------------------------------------------------------------------
+    def replay_wal(self, records) -> dict:
+        """Replay surviving WAL records into the engine, audit, swap.
+
+        The recovery tail: the store was constructed from the newest
+        valid checkpoint's columns (or the base trace), so the engine is
+        already at the checkpoint's WAL sequence and ``records`` are
+        everything past it.  The audit is mandatory — a recovered engine
+        that fails it poisons the store (reads keep serving the
+        checkpoint snapshot; writes stay down) rather than serving
+        unverified state.
+        """
+        from repro.graph.wal import replay_records
+
+        applied = replay_records(self._engine, records)
+        audit = self._engine.audit()
+        if not audit.ok:
+            self._poisoned = True
+            raise StoreWriteError(
+                f"post-replay audit failed: {audit.summary()}"
+            )
+        if applied:
+            self._snapshot = self._engine.materialize()
+        return {"records": len(records), "events": applied}
+
+    def checkpoint_if_due(self) -> "int | None":
+        """Cadence-gated checkpoint of the engine's current stream.
+
+        Must run serialised with writes (the server calls it under the
+        ingest lock) so the trace handed to the manager is at exactly the
+        manager's WAL sequence.
+        """
+        if self.durability is None or self._poisoned:
+            return None
+        return self.durability.maybe_checkpoint(self._engine.trace)
+
+    def finalize_durability(self) -> None:
+        """Drain hook: final fsync + checkpoint + WAL close."""
+        if self.durability is None:
+            return
+        self.durability.close(None if self._poisoned else self._engine.trace)
 
     # ------------------------------------------------------------------
     def _screen(self, text: str) -> "tuple[list[tuple[int, int, float]], dict]":

@@ -1,0 +1,149 @@
+"""CLI exit-code contract for ``repro recover`` and ``repro wal verify``.
+
+Exit codes are the operator interface: 0 = durable state is sound,
+1 = data-integrity finding (torn tail, corruption, failed audit),
+2 = usage error (missing files, wrong lineage).  CI's crash-recovery
+smoke step keys off these.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.__main__ import main
+from repro.graph.io import write_trace
+from repro.graph.wal import WAL_FILE, WAL_MAGIC, WriteAheadLog, wal_fingerprint
+from repro.ingest import IngestPolicy
+from tests.conftest import build_trace
+
+BASE_EVENTS = [
+    (0, 1, 1.0),
+    (1, 2, 2.0),
+    (2, 3, 3.0),
+    (0, 3, 4.0),
+    (3, 4, 5.0),
+    (1, 4, 6.0),
+]
+BATCHES = [[(2, 4, 7.0), (0, 4, 7.5)], [(5, 0, 8.0)]]
+
+
+@pytest.fixture
+def wal_setup(tmp_path):
+    """A trace file + WAL directory holding two synced batches."""
+    trace = build_trace(BASE_EVENTS)
+    trace_path = tmp_path / "base.txt"
+    write_trace(trace, trace_path)
+    wal_dir = tmp_path / "wal"
+    wal_dir.mkdir()
+    fingerprint = wal_fingerprint(trace, IngestPolicy.repair())
+    with WriteAheadLog.create(wal_dir / WAL_FILE, fingerprint) as log:
+        for events in BATCHES:
+            log.append(
+                np.array([e[0] for e in events], dtype=np.int64),
+                np.array([e[1] for e in events], dtype=np.int64),
+                np.array([e[2] for e in events], dtype=np.float64),
+            )
+            log.sync()
+    return trace_path, wal_dir
+
+
+class TestWalVerifyExitCodes:
+    def test_clean_wal_exits_0(self, wal_setup, capsys):
+        _, wal_dir = wal_setup
+        assert main(["wal", "verify", str(wal_dir)]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["status"] == "clean"
+        assert report["records"] == 2 and report["events"] == 3
+
+    def test_direct_file_path_works_too(self, wal_setup, capsys):
+        _, wal_dir = wal_setup
+        assert main(["wal", "verify", str(wal_dir / WAL_FILE)]) == 0
+
+    def test_torn_tail_exits_1(self, wal_setup, capsys):
+        _, wal_dir = wal_setup
+        with open(wal_dir / WAL_FILE, "ab") as fh:
+            fh.write(b"\x01\x02\x03")
+        assert main(["wal", "verify", str(wal_dir)]) == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["status"] == "torn" and report["torn_bytes"] == 3
+
+    def test_corrupt_wal_exits_1(self, wal_setup, capsys):
+        _, wal_dir = wal_setup
+        path = wal_dir / WAL_FILE
+        blob = bytearray(path.read_bytes())
+        blob[len(WAL_MAGIC) + 14] ^= 0xFF  # mid-file damage
+        path.write_bytes(bytes(blob))
+        assert main(["wal", "verify", str(wal_dir)]) == 1
+        assert json.loads(capsys.readouterr().out)["status"] == "corrupt"
+
+    def test_missing_wal_exits_2(self, tmp_path, capsys):
+        assert main(["wal", "verify", str(tmp_path / "nope")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestRecoverExitCodes:
+    def run_recover(self, trace_path, wal_dir, policy="repair"):
+        return main(
+            [
+                "recover",
+                str(wal_dir),
+                "--trace",
+                str(trace_path),
+                "--policy",
+                policy,
+            ]
+        )
+
+    def test_clean_recovery_exits_0(self, wal_setup, capsys):
+        trace_path, wal_dir = wal_setup
+        assert self.run_recover(trace_path, wal_dir) == 0
+        captured = capsys.readouterr()
+        described = json.loads(captured.out)
+        assert described["wal_seq"] == 2
+        assert described["records_replayed"] == 2
+        assert described["audit_ok"] is True
+        assert "audit clean" in captured.err
+
+    def test_wrong_policy_is_a_usage_error(self, wal_setup, capsys):
+        trace_path, wal_dir = wal_setup
+        assert self.run_recover(trace_path, wal_dir, policy="strict") == 2
+        assert "different base trace/policy" in capsys.readouterr().err
+
+    def test_wrong_base_trace_is_a_usage_error(self, wal_setup, tmp_path, capsys):
+        _, wal_dir = wal_setup
+        other = tmp_path / "other.txt"
+        write_trace(build_trace([(0, 1, 1.0), (1, 2, 2.0)]), other)
+        assert self.run_recover(other, wal_dir) == 2
+
+    def test_corrupt_wal_exits_1(self, wal_setup, capsys):
+        trace_path, wal_dir = wal_setup
+        path = wal_dir / WAL_FILE
+        blob = bytearray(path.read_bytes())
+        blob[len(WAL_MAGIC) + 14] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        assert self.run_recover(trace_path, wal_dir) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_failed_audit_exits_1(self, wal_setup, capsys, monkeypatch):
+        trace_path, wal_dir = wal_setup
+        from repro.graph import delta as delta_mod
+
+        class BadAudit:
+            ok = False
+
+            def summary(self):
+                return "audit: 1 VIOLATED (injected)"
+
+        monkeypatch.setattr(delta_mod.DeltaGraph, "audit", lambda self: BadAudit())
+        assert self.run_recover(trace_path, wal_dir) == 1
+        captured = capsys.readouterr()
+        assert json.loads(captured.out)["audit_ok"] is False
+        assert "failed its integrity audit" in captured.err
+
+    def test_missing_wal_dir_exits_2(self, wal_setup, tmp_path, capsys):
+        trace_path, _ = wal_setup
+        assert self.run_recover(trace_path, tmp_path / "ghost") == 2
+        assert "error:" in capsys.readouterr().err

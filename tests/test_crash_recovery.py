@@ -1,0 +1,383 @@
+"""Crash-anywhere recovery: kill at any fault point, recover byte-identically.
+
+The durability layer's core claim: no matter where a crash lands — before a
+WAL append, in the torn-tail window between the buffered write and its
+fsync, or between a checkpoint's temp file and its rename — recovery
+rebuilds a state that is (a) a *prefix* of the ingested batch sequence,
+(b) contains every batch that was acknowledged under ``fsync=always``, and
+(c) is byte-identical to a never-crashed reference over the same prefix:
+columns, CSR structure, candidate enumeration, and all registered metric
+scores.  Crashes are injected with the ``crashes`` fault kind
+(:mod:`repro.eval.faults`), which hard-exits the whole process with
+``KILL_EXIT_CODE`` on exactly the scheduled invocation; the driver is a
+subprocess so the kill never takes pytest with it.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import numpy as np
+import pytest
+
+from repro.eval import faults
+from repro.graph.io import write_trace
+from repro.graph.snapshots import Snapshot
+from repro.graph.wal import WAL_FILE, recover_state, verify_wal
+from repro.ingest import IngestPolicy
+from repro.metrics.base import all_metric_names, get_metric
+from repro.metrics.candidates import candidate_pairs
+from repro.serve import client
+from tests.conftest import build_trace
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+# The base prefix the server boots from, and the batches ingested live.
+BASE_EVENTS = [
+    (0, 1, 1.0),
+    (0, 2, 1.5),
+    (1, 2, 2.0),
+    (2, 3, 3.0),
+    (3, 4, 4.0),
+    (1, 4, 5.0),
+    (4, 5, 6.0),
+    (5, 6, 7.0),
+    (2, 6, 8.0),
+    (0, 6, 9.0),
+    (3, 6, 10.0),
+    (0, 7, 11.0),
+]
+BATCHES = [
+    [(1, 7, 12.0), (2, 7, 12.5)],
+    [(5, 7, 13.0), (8, 0, 13.5), (8, 1, 14.0)],
+    [(4, 6, 15.0), (3, 5, 15.5)],
+    [(8, 2, 16.0), (9, 5, 16.5), (9, 8, 17.0)],
+    [(6, 9, 18.0), (7, 9, 18.5)],
+]
+POLICY_NAME = "repair"
+
+# The durable-ingest driver run as a subprocess so injected crashes
+# (os._exit) never touch the pytest process.  It speaks a one-line
+# protocol on stdout: RECOVERED <n> after WAL replay, ACK <i> after each
+# durably ingested batch, DONE on clean shutdown.
+DRIVER_SOURCE = '''\
+import json
+import sys
+
+from repro.graph.dyngraph import TemporalGraph
+from repro.ingest import IngestPolicy
+from repro.serve.durability import DurabilityManager
+from repro.serve.store import ScoreStore
+
+wal_dir, data_path = sys.argv[1], sys.argv[2]
+with open(data_path) as fh:
+    data = json.load(fh)
+base = [tuple(e) for e in data["base"]]
+batches = [[tuple(e) for e in b] for b in data["batches"]]
+
+trace = TemporalGraph.from_stream(base)
+policy = IngestPolicy.from_string(data["policy"])
+manager, plan = DurabilityManager.attach(
+    wal_dir,
+    trace,
+    policy,
+    fsync=data.get("fsync", "always"),
+    checkpoint_every=data.get("checkpoint_every", 2),
+    checkpoint_keep=data.get("checkpoint_keep", 2),
+)
+start = trace
+done = 0
+if plan is not None:
+    if plan.start_trace is not None:
+        start = plan.start_trace
+    done = plan.total_records
+store = ScoreStore(start, policy=policy, durability=manager)
+if plan is not None:
+    store.replay_wal(plan.records)
+    print(f"RECOVERED {done}", flush=True)
+for index in range(done, len(batches)):
+    lines = "".join(f"{u} {v} {t!r}\\n" for u, v, t in batches[index])
+    store.ingest_lines(lines)
+    store.checkpoint_if_due()
+    print(f"ACK {index}", flush=True)
+store.finalize_durability()
+print("DONE", flush=True)
+'''
+
+
+def _subprocess_env(extra=None):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p
+        for p in (os.path.join(REPO_ROOT, "src"), env.get("PYTHONPATH", ""))
+        if p
+    )
+    env.update(extra or {})
+    return env
+
+
+@pytest.fixture
+def driver(tmp_path):
+    """Returns run(plan=None) -> (completed process, acked batch count)."""
+    import json
+
+    script = tmp_path / "driver.py"
+    script.write_text(DRIVER_SOURCE)
+    data = tmp_path / "data.json"
+    data.write_text(
+        json.dumps({"base": BASE_EVENTS, "batches": BATCHES, "policy": POLICY_NAME})
+    )
+    wal_dir = tmp_path / "wal"
+
+    def run(plan=None):
+        extra = {faults.ENV_VAR: plan.to_json()} if plan is not None else None
+        proc = subprocess.run(
+            [sys.executable, str(script), str(wal_dir), str(data)],
+            capture_output=True,
+            text=True,
+            env=_subprocess_env(extra),
+            timeout=120,
+        )
+        acked = sum(
+            1 for line in proc.stdout.splitlines() if line.startswith("ACK ")
+        )
+        return proc, acked
+
+    run.wal_dir = wal_dir
+    return run
+
+
+def reference_trace(num_batches: int):
+    events = list(BASE_EVENTS)
+    for batch in BATCHES[:num_batches]:
+        events.extend(batch)
+    return build_trace(events)
+
+
+#: cumulative edge count after base + each batch prefix.
+PREFIX_EDGES = [len(BASE_EVENTS)]
+for _batch in BATCHES:
+    PREFIX_EDGES.append(PREFIX_EDGES[-1] + len(_batch))
+
+
+def assert_byte_identical(recovered_trace, expected_trace, metrics):
+    """Columns, CSR, candidate sets, and metric scores must match bitwise."""
+    ru, rv, rt = recovered_trace.columns()
+    eu, ev, et = expected_trace.columns()
+    assert ru.tobytes() == eu.tobytes()
+    assert rv.tobytes() == ev.tobytes()
+    assert rt.tobytes() == et.tobytes()
+
+    got = Snapshot(recovered_trace, recovered_trace.num_edges)
+    want = Snapshot(expected_trace, expected_trace.num_edges)
+    assert got.node_ids.tobytes() == want.node_ids.tobytes()
+    for g, w in zip(got.csr_structure(), want.csr_structure()):
+        assert g.tobytes() == w.tobytes()
+
+    for name in metrics:
+        got_metric, want_metric = get_metric(name), get_metric(name)
+        got_pairs = candidate_pairs(got, got_metric.candidate_strategy)
+        want_pairs = candidate_pairs(want, want_metric.candidate_strategy)
+        assert got_pairs.tobytes() == want_pairs.tobytes(), name
+        got_metric.fit(got)
+        want_metric.fit(want)
+        got_scores = np.asarray(got_metric.score(got_pairs), dtype=np.float64)
+        want_scores = np.asarray(want_metric.score(want_pairs), dtype=np.float64)
+        assert got_scores.tobytes() == want_scores.tobytes(), name
+
+
+def recover(wal_dir):
+    return recover_state(
+        wal_dir, build_trace(BASE_EVENTS), IngestPolicy.from_string(POLICY_NAME)
+    )
+
+
+# Every fault point the WAL write path exposes, at several invocation
+# indices.  checkpoint.write only ever fires at index 0 (each checkpoint
+# write is its own invocation-0 operation).
+SCHEDULES = [
+    ("wal.append", 0),
+    ("wal.append", 2),
+    ("wal.append", 4),
+    ("wal.fsync", 0),
+    ("wal.fsync", 3),
+    ("checkpoint.write", 0),
+]
+
+
+class TestCrashAnywhere:
+    @pytest.mark.parametrize("key,index", SCHEDULES)
+    def test_recovery_is_a_byte_identical_prefix(self, driver, key, index):
+        plan = faults.FaultPlan(crashes={key: index})
+        proc, acked = driver(plan)
+        assert proc.returncode == faults.KILL_EXIT_CODE, proc.stderr
+        assert "DONE" not in proc.stdout
+
+        result = recover(driver.wal_dir)
+        assert result.clean, result.describe()
+
+        # The recovered state is an exact batch-prefix of the ingest
+        # sequence...
+        edges = result.engine.trace.num_edges
+        assert edges in PREFIX_EDGES, (
+            f"recovered edge count {edges} is not a batch prefix "
+            f"(expected one of {PREFIX_EDGES})"
+        )
+        survived = PREFIX_EDGES.index(edges)
+        # ...and under fsync=always it contains every acknowledged batch.
+        assert survived >= acked, (
+            f"ack'd {acked} batches but only {survived} survived the "
+            f"crash at {key}[{index}]"
+        )
+        assert_byte_identical(
+            result.engine.trace, reference_trace(survived), ["CN", "AA", "RA"]
+        )
+
+    @pytest.mark.parametrize("key,index", SCHEDULES)
+    def test_restarted_driver_converges_to_full_reference(
+        self, driver, key, index
+    ):
+        """Crash, restart without the plan, finish: state == never-crashed."""
+        proc, _ = driver(faults.FaultPlan(crashes={key: index}))
+        assert proc.returncode == faults.KILL_EXIT_CODE, proc.stderr
+
+        proc, _ = driver()  # restart: recover, replay, ingest the rest
+        assert proc.returncode == 0, proc.stderr
+        assert "RECOVERED" in proc.stdout and "DONE" in proc.stdout
+
+        result = recover(driver.wal_dir)
+        assert result.clean and result.wal_seq == len(BATCHES)
+        assert_byte_identical(
+            result.engine.trace,
+            reference_trace(len(BATCHES)),
+            ["CN", "AA", "RA", "PA", "JC"],
+        )
+
+    def test_checkpoint_crash_strands_only_a_tmp_file(self, driver):
+        proc, _ = driver(faults.FaultPlan(crashes={"checkpoint.write": 0}))
+        assert proc.returncode == faults.KILL_EXIT_CODE
+        names = sorted(os.listdir(driver.wal_dir))
+        assert any(n.endswith(".tmp") for n in names)
+        assert not any(n.endswith(".ckpt") for n in names)
+        # the stranded temp file does not confuse recovery or verify
+        assert recover(driver.wal_dir).clean
+        assert verify_wal(os.path.join(driver.wal_dir, WAL_FILE)).clean
+
+
+class TestNeverCrashedControl:
+    def test_clean_run_recovers_to_full_reference_all_metrics(self, driver):
+        proc, acked = driver()
+        assert proc.returncode == 0, proc.stderr
+        assert acked == len(BATCHES) and "DONE" in proc.stdout
+
+        result = recover(driver.wal_dir)
+        assert result.clean and result.wal_seq == len(BATCHES)
+        # final drain checkpoint covers the whole WAL: nothing to replay
+        assert result.checkpoint_seq == len(BATCHES)
+        assert result.records_replayed == 0
+        assert_byte_identical(
+            result.engine.trace, reference_trace(len(BATCHES)), all_metric_names()
+        )
+
+
+# ---------------------------------------------------------------------------
+# The real thing: kill -9 a serving process, restart it, demand parity.
+# ---------------------------------------------------------------------------
+def _spawn_durable_server(trace_path, wal_dir):
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--trace",
+            str(trace_path),
+            "--port",
+            "0",
+            "--wal",
+            str(wal_dir),
+            "--fsync",
+            "always",
+            "--checkpoint-every",
+            "2",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=_subprocess_env(),
+    )
+    import re
+
+    banner = proc.stdout.readline().strip()
+    match = re.search(r":(\d+)$", banner)
+    assert match, f"no port in banner {banner!r} (stderr: {proc.stderr.read()})"
+    return proc, int(match.group(1))
+
+
+def _await_ready(port, timeout_s=20.0):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        try:
+            if client.sync_request("127.0.0.1", port, "GET", "/readyz").status == 200:
+                return
+        except OSError:
+            pass
+        time.sleep(0.05)
+    raise AssertionError(f"server on port {port} never became ready")
+
+
+class TestKillNineServer:
+    def test_sigkill_restart_recovers_acked_ingest(self, tmp_path):
+        trace_path = tmp_path / "base.txt"
+        write_trace(build_trace(BASE_EVENTS), trace_path)
+        wal_dir = tmp_path / "wal"
+
+        proc, port = _spawn_durable_server(trace_path, wal_dir)
+        try:
+            _await_ready(port)
+            for batch in BATCHES[:3]:
+                body = "".join(f"{u} {v} {t!r}\n" for u, v, t in batch)
+                response = client.sync_request(
+                    "127.0.0.1", port, "POST", "/ingest", body=body.encode()
+                )
+                assert response.status == 200, response.body
+        finally:
+            proc.kill()  # SIGKILL: no drain, no final checkpoint
+            proc.wait(timeout=10)
+        assert proc.returncode == -signal.SIGKILL
+
+        proc, port = _spawn_durable_server(trace_path, wal_dir)
+        try:
+            _await_ready(port)
+            expected = reference_trace(3)
+            snapshot = Snapshot(expected, expected.num_edges)
+            metric = get_metric("CN")
+            pairs = candidate_pairs(snapshot, metric.candidate_strategy)
+            metric.fit(snapshot)
+            scores = np.asarray(metric.score(pairs), dtype=np.float64)
+            reference = {
+                (int(min(u, v)), int(max(u, v))): float(s)
+                for (u, v), s in zip(pairs.tolist(), scores.tolist())
+            }
+            for u in (0, 2, 7, 8):
+                response = client.sync_request(
+                    "127.0.0.1", port, "GET", f"/predict?u={u}&k=5&metric=CN"
+                )
+                assert response.status == 200, response.body
+                payload = response.json()
+                assert payload["snapshot"]["edges"] == expected.num_edges
+                mine = [
+                    (pair[1] if pair[0] == u else pair[0], score)
+                    for pair, score in reference.items()
+                    if u in pair
+                ]
+                mine.sort(key=lambda entry: (-entry[1], entry[0]))
+                got = [(p["v"], p["score"]) for p in payload["predictions"]]
+                assert got == mine[:5]
+        finally:
+            proc.terminate()
+            proc.wait(timeout=10)

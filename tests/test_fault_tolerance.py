@@ -114,6 +114,48 @@ class TestFaultPlan:
         faults.before_cell(("CN", 0, 0), 0)  # still alive
         assert KILL_EXIT_CODE != 0
 
+    def test_crashes_round_trip_and_validate(self):
+        plan = FaultPlan(crashes={"wal.append": 3, "checkpoint.write": 0})
+        assert FaultPlan.from_json(plan.to_json()) == plan
+        with pytest.raises(ValueError, match="crashes"):
+            FaultPlan(crashes={"wal.append": -1}).validate()
+
+    def test_crash_fires_only_on_the_scheduled_invocation(self):
+        """Exact-index semantics: attempt != n passes through alive."""
+        faults.install(FaultPlan(crashes={"wal.fsync": 5}))
+        for attempt in (0, 1, 4, 6, 99):
+            faults.before_key("wal.fsync", attempt)  # still alive
+        faults.before_key("wal.append", 5)  # other keys: clean
+
+    def test_crash_exits_even_outside_workers(self):
+        """Unlike kill, crashes hard-exit the main process too."""
+        import os
+        import subprocess
+        import sys
+
+        repo_src = os.path.join(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (repo_src, env.get("PYTHONPATH", "")) if p
+        )
+        env[faults.ENV_VAR] = FaultPlan(crashes={"boom": 0}).to_json()
+        proc = subprocess.run(
+            [
+                sys.executable,
+                "-c",
+                "from repro.eval import faults; faults.before_key('boom', 0); "
+                "print('survived')",
+            ],
+            capture_output=True,
+            text=True,
+            env=env,
+            timeout=60,
+        )
+        assert proc.returncode == KILL_EXIT_CODE
+        assert "survived" not in proc.stdout
+
 
 class TestRetryPolicy:
     def test_backoff_deterministic_and_bounded(self):

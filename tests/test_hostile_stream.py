@@ -1,0 +1,201 @@
+"""Hostile-stream end-to-end: bursty, out-of-order, corrupted live ingest.
+
+The serving stack must survive an adversarial client: bursts of hundreds
+of lines, timestamp inversions, garbage lines, stale events aimed at the
+committed past, duplicates, and outright binary junk.  The contract under
+test: every request gets an orderly verdict (200 with per-class rejection
+counts, or a 4xx — never a crash or a 5xx), the surviving stream is
+**exactly** what offline ingest of the same bodies produces (column-level
+parity, since `/ingest` and `ScoreStore.ingest_lines` are the same code
+path), and a WAL restart after the hostile session recovers the identical
+state.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.graph.wal import recover_state
+from repro.ingest import IngestPolicy
+from repro.serve import DurabilityManager, ScoreStore, ServeConfig, ServerHarness
+from tests.conftest import build_trace
+
+BASE_EVENTS = [
+    (0, 1, 1.0),
+    (0, 2, 1.5),
+    (1, 2, 2.0),
+    (2, 3, 3.0),
+    (3, 4, 4.0),
+    (1, 4, 5.0),
+    (4, 5, 6.0),
+    (5, 6, 7.0),
+    (2, 6, 8.0),
+    (0, 6, 9.0),
+    (3, 6, 10.0),
+    (0, 7, 11.0),
+]
+
+
+def _burst(start_node: int, start_t: float, count: int) -> str:
+    """A clean burst of ``count`` chained edges with increasing times."""
+    lines = []
+    for i in range(count):
+        lines.append(f"{start_node + i} {start_node + i + 1} {start_t + 0.25 * i}\n")
+    return "".join(lines)
+
+
+def _shuffled_burst(start_node: int, start_t: float, count: int) -> str:
+    """Same edges, deterministically mis-ordered in time (stride trick)."""
+    lines = _burst(start_node, start_t, count).splitlines()
+    return "".join(line + "\n" for line in lines[1::2] + lines[0::2])
+
+
+#: the hostile session: (chunk body, expected status under repair policy).
+HOSTILE_CHUNKS = [
+    # a large clean burst
+    (_burst(8, 12.0, 120), 200),
+    # one offender per taxonomy class, plus two clean survivors
+    (
+        "one two three\n"  # parse garbage
+        "2.5 3 40.5\n"  # non-integer node id
+        "3 4 nan\n"  # non-finite time
+        "4 5 -1.0\n"  # negative time (repair clamps to 0 -> stale -> clamped up)
+        "6 6 41.0\n"  # self-loop
+        "0 1 41.5\n"  # duplicate of a base edge
+        "7 8 0.5\n"  # stale: aimed before the committed stream end
+        "1 7 42.0\n"  # clean
+        "2 7 42.5\n",  # clean
+        200,
+    ),
+    # binary junk: rejected at the door, nothing changes
+    (b"\xff\xfe\x00junk", 400),
+    # a bursty out-of-order chunk (every timestamp inverted pairwise)
+    (_shuffled_burst(130, 50.0, 80), 200),
+    # empty + comments only: a valid no-op
+    ("# heartbeat\n\n", 200),
+    # a final clean chunk proving the stream is still open for business
+    ("3 5 100.0\n4 7 101.0\n", 200),
+]
+
+
+def _bodies():
+    return [
+        (c if isinstance(c, bytes) else c.encode(), status)
+        for c, status in HOSTILE_CHUNKS
+    ]
+
+
+def offline_ingest(policy_name: str):
+    """The offline twin: the same chunks through ScoreStore directly."""
+    store = ScoreStore(
+        build_trace(BASE_EVENTS), policy=IngestPolicy.from_string(policy_name)
+    )
+    payloads = []
+    for body, expected_status in _bodies():
+        if expected_status != 200:
+            payloads.append(None)
+            continue
+        payloads.append(store.ingest_lines(body.decode("utf-8")))
+    return store, payloads
+
+
+@pytest.mark.parametrize("policy_name", ["repair", "quarantine"])
+class TestHostileStreamParity:
+    def test_live_ingest_matches_offline_and_recovers(self, tmp_path, policy_name):
+        policy = IngestPolicy.from_string(policy_name)
+        trace = build_trace(BASE_EVENTS)
+        wal_dir = tmp_path / "wal"
+        manager, plan = DurabilityManager.attach(
+            wal_dir, trace, policy, checkpoint_every=3
+        )
+        assert plan is None
+        store = ScoreStore(trace, policy=policy, durability=manager)
+        h = ServerHarness(
+            trace, ServeConfig(port=0, workers=2, queue_size=256), store=store
+        )
+        h.start()
+        online_payloads = []
+        try:
+            for body, expected_status in _bodies():
+                response = h.request("POST", "/ingest", body=body)
+                # orderly verdicts only: never a crash, never a 5xx
+                assert response.status == expected_status, response.body
+                online_payloads.append(
+                    response.json() if response.status == 200 else None
+                )
+            # the server is still fully healthy after the hostile session
+            assert h.request("GET", "/readyz").status == 200
+            assert h.request("GET", "/predict?u=0&k=3&metric=CN").status == 200
+        finally:
+            h.stop(drain=False)  # crash-stop: recovery must work from WAL alone
+
+        # --- parity with offline ingest of the same bodies -------------
+        offline_store, offline_payloads = offline_ingest(policy_name)
+        assert online_payloads == offline_payloads
+        ou, ov, ot = offline_store._engine.trace.columns()
+        su, sv, st = store._engine.trace.columns()
+        assert su.tobytes() == ou.tobytes()
+        assert sv.tobytes() == ov.tobytes()
+        assert st.tobytes() == ot.tobytes()
+
+        # --- the hostile session is replayable: WAL recovery parity ----
+        result = recover_state(wal_dir, build_trace(BASE_EVENTS), policy)
+        assert result.clean, result.describe()
+        ru, rv, rt = result.engine.trace.columns()
+        assert ru.tobytes() == ou.tobytes()
+        assert rv.tobytes() == ov.tobytes()
+        assert rt.tobytes() == ot.tobytes()
+
+    def test_rejection_counts_are_reported_per_class(self, tmp_path, policy_name):
+        policy = IngestPolicy.from_string(policy_name)
+        trace = build_trace(BASE_EVENTS)
+        h = ServerHarness(
+            trace,
+            ServeConfig(port=0, workers=2),
+            store=ScoreStore(trace, policy=policy),
+        )
+        h.start()
+        try:
+            body, _ = _bodies()[1]  # the one-offender-per-class chunk
+            payload = h.request("POST", "/ingest", body=body).json()
+            rejected = payload["rejected"]
+            for error_class in (
+                "parse_error",
+                "bad_node_id",
+                "nonfinite_time",
+                "self_loop",
+                "duplicate_edge",
+                "out_of_order",
+            ):
+                assert rejected.get(error_class, 0) >= 1, (error_class, rejected)
+            assert payload["applied"] >= 2  # the clean survivors landed
+        finally:
+            h.stop()
+
+
+class TestStrictPolicyRejectsWholesale:
+    def test_strict_batch_rejection_changes_nothing(self, tmp_path):
+        trace = build_trace(BASE_EVENTS)
+        policy = IngestPolicy.strict()
+        wal_dir = tmp_path / "wal"
+        manager, _ = DurabilityManager.attach(wal_dir, trace, policy)
+        store = ScoreStore(trace, policy=policy, durability=manager)
+        h = ServerHarness(trace, ServeConfig(port=0, workers=2), store=store)
+        h.start()
+        try:
+            body, _ = _bodies()[1]
+            response = h.request("POST", "/ingest", body=body)
+            assert response.status == 400
+            detail = json.loads(response.body)["detail"]
+            assert "parse_error" in detail
+            # nothing applied, nothing logged
+            assert store._engine.trace.num_edges == len(BASE_EVENTS)
+            assert manager.wal.seq == 0
+            # and the write path is still open for clean batches
+            clean = h.request("POST", "/ingest", body=b"1 7 12.0\n")
+            assert clean.status == 200
+            assert manager.wal.seq == 1
+        finally:
+            h.stop()

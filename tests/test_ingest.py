@@ -431,6 +431,49 @@ class TestReader:
         assert payload["policy"]["self_loop"] == "strict"
 
 
+class TestFastPathAlignment:
+    """The clean-block fast path must never mis-align a dirty block.
+
+    ``_parse_block`` joins a block's tokens and stride-slices them 3-wide.
+    A token-count-only guard would accept a 4-token line compensated by a
+    2-token line (6 tokens, 2 lines — looks like two clean events) and
+    silently parse the WRONG numbers; the exact per-line guard must route
+    any such block to the per-line classifier instead.
+    """
+
+    def test_compensating_token_counts_are_not_misparsed(self, tmp_path):
+        path = tmp_path / "compensating.txt"
+        # 4 tokens + 2 tokens: stride slicing would yield the plausible
+        # but wrong events (1,2,3.0) and (4,5,6.0) -- every u/v position
+        # an int, every t position a float.
+        path.write_text("1 2 3.0 4\n5 6\n", encoding="utf-8")
+        graph = load_trace(path, policy=IngestPolicy.repair())
+        # right answer: line 1 is a parse error (dropped), line 2 is a
+        # valid 2-column event stamped with its line number.
+        assert graph.num_edges == 1
+        assert graph.edge_time(5, 6) == 2.0
+        assert graph.ingest_report.flagged.get("parse_error") == 1
+
+    def test_tab_and_double_space_lines_take_the_slow_path(self, tmp_path):
+        """Whitespace the fast path excludes still parses identically."""
+        clean = tmp_path / "clean.txt"
+        clean.write_text("0 1 1.0\n1 2 2.0\n2 3 3.0\n", encoding="utf-8")
+        messy = tmp_path / "messy.txt"
+        messy.write_text("0\t1\t1.0\n1  2  2.0\n2 3 3.0\n", encoding="utf-8")
+        assert_columns_identical(load_trace(messy), load_trace(clean))
+
+    def test_fast_path_is_bit_exact_against_tiny_blocks(
+        self, reference, clean_file, monkeypatch
+    ):
+        """BLOCK_LINES=1 forces single-line blocks through the same fast
+        path; results must match the default blocking bit-for-bit."""
+        import repro.ingest.loader as loader
+
+        expected = load_trace(clean_file)
+        monkeypatch.setattr(loader, "BLOCK_LINES", 1)
+        assert_columns_identical(load_trace(clean_file), expected)
+
+
 class TestCorruptFixture:
     """Pin the committed CI fixture: every taxonomy class must stay
     reachable from it (the audit smoke step greps for each name)."""

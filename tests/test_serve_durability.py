@@ -1,0 +1,291 @@
+"""Server-side durability lifecycle: WAL'd ingest, restart, recovering state.
+
+Complements :mod:`tests.test_wal` (format) and
+:mod:`tests.test_crash_recovery` (kill schedules): here the subject is the
+*server's* behaviour around its durability layer — acked writes land in
+the WAL, drain writes a final checkpoint, a restarted server serves
+degraded reads from the checkpoint while the WAL replays in the
+background, ingest stays closed until recovery is audited, and a sick WAL
+trips the circuit breaker into read-only degradation.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.eval import faults
+from repro.graph.wal import scan_wal, wal_fingerprint
+from repro.ingest import IngestPolicy
+from repro.serve import (
+    DEGRADED_HEADER,
+    DurabilityManager,
+    ScoreStore,
+    ServeConfig,
+    ServerHarness,
+)
+from tests.conftest import build_trace
+
+BASE_EVENTS = [
+    (0, 1, 1.0),
+    (0, 2, 1.5),
+    (1, 2, 2.0),
+    (2, 3, 3.0),
+    (3, 4, 4.0),
+    (1, 4, 5.0),
+    (4, 5, 6.0),
+    (5, 6, 7.0),
+    (2, 6, 8.0),
+    (0, 6, 9.0),
+    (3, 6, 10.0),
+    (0, 7, 11.0),
+]
+BATCHES = [b"1 7 12.0\n2 7 12.5\n", b"5 7 13.0\n8 0 13.5\n", b"4 6 15.0\n"]
+
+
+def base_trace():
+    return build_trace(BASE_EVENTS)
+
+
+def durable_harness(wal_dir, *, config=None, **knobs):
+    """A harness over a WAL-backed store, plus any recovery plan found."""
+    trace = base_trace()
+    policy = IngestPolicy.repair()
+    manager, plan = DurabilityManager.attach(wal_dir, trace, policy, **knobs)
+    start = trace
+    if plan is not None and plan.start_trace is not None:
+        start = plan.start_trace
+    store = ScoreStore(start, policy=policy, durability=manager)
+    config = config or ServeConfig(port=0, workers=2)
+    return ServerHarness(start, config, store=store, recovery=plan)
+
+
+def wait_until(predicate, timeout_s=10.0, detail="condition"):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(0.02)
+    raise AssertionError(f"timed out waiting for {detail}")
+
+
+@pytest.fixture
+def fault_plan():
+    try:
+        yield lambda **kw: faults.install(faults.FaultPlan(**kw))
+    finally:
+        faults.clear()
+
+
+class TestDurableIngest:
+    def test_acked_batches_reach_the_wal(self, tmp_path):
+        wal_dir = tmp_path / "wal"
+        h = durable_harness(wal_dir, checkpoint_every=0).start()
+        try:
+            for body in BATCHES:
+                assert h.request("POST", "/ingest", body=body).status == 200
+            stats = h.request("GET", "/statz").json()
+            assert stats["durability"]["wal_seq"] == len(BATCHES)
+            assert stats["durability"]["synced_seq"] == len(BATCHES)
+            assert stats["durability"]["pending_records"] == 0
+            assert stats["store"]["durable"] is True
+        finally:
+            h.stop()
+        _, records, tail = scan_wal(
+            wal_dir / "wal.log",
+            wal_fingerprint(base_trace(), IngestPolicy.repair()),
+        )
+        assert tail.clean and len(records) == len(BATCHES)
+        expected = [
+            [tuple(map(float, line.split())) for line in body.decode().splitlines()]
+            for body in BATCHES
+        ]
+        got = [
+            [(float(u), float(v), t) for u, v, t in r.events()] for r in records
+        ]
+        assert got == expected
+
+    def test_screened_out_lines_are_not_logged(self, tmp_path):
+        h = durable_harness(tmp_path / "wal").start()
+        try:
+            # self-loops only: the whole batch screens away
+            response = h.request("POST", "/ingest", body=b"3 3 12.0\n4 4 12.5\n")
+            assert response.status == 200
+            assert h.server.store.durability.wal.seq == 0
+        finally:
+            h.stop()
+
+    def test_interval_fsync_group_commits_in_background(self, tmp_path):
+        config = ServeConfig(port=0, workers=2, fsync="interval")
+        h = durable_harness(
+            tmp_path / "wal",
+            config=config,
+            fsync="interval",
+            fsync_interval_s=0.05,
+        ).start()
+        try:
+            manager = h.server.store.durability
+            assert h.request("POST", "/ingest", body=BATCHES[0]).status == 200
+            assert manager.wal.seq == 1  # appended immediately...
+            wait_until(
+                lambda: manager.wal.pending_records == 0,
+                detail="background group commit",
+            )  # ...fsynced by the durability loop, not the request
+        finally:
+            h.stop()
+
+    def test_drain_writes_a_final_checkpoint(self, tmp_path):
+        wal_dir = tmp_path / "wal"
+        h = durable_harness(wal_dir, checkpoint_every=0).start()
+        try:
+            for body in BATCHES:
+                h.request("POST", "/ingest", body=body)
+        finally:
+            assert h.stop() is True
+        ckpts = [n for n in wal_dir.iterdir() if n.suffix == ".ckpt"]
+        assert len(ckpts) == 1 and f"{len(BATCHES):012d}" in ckpts[0].name
+
+
+class TestRestartRecovery:
+    def ingest_and_stop(self, wal_dir, drain=True, **knobs):
+        h = durable_harness(wal_dir, **knobs).start()
+        try:
+            for body in BATCHES:
+                assert h.request("POST", "/ingest", body=body).status == 200
+            return h.request("GET", "/predict?u=7&k=5&metric=CN").json()
+        finally:
+            # drain=False is the crash stand-in: no final checkpoint, the
+            # WAL alone carries the ingested batches into the restart.
+            h.stop(drain=drain)
+
+    def test_restart_recovers_and_scores_identically(self, tmp_path):
+        wal_dir = tmp_path / "wal"
+        before = self.ingest_and_stop(wal_dir, checkpoint_every=2)
+
+        h = durable_harness(wal_dir, checkpoint_every=2)
+        assert h.server._recovering is True
+        h.start()
+        try:
+            wait_until(
+                lambda: h.request("GET", "/readyz").status == 200,
+                detail="recovery to finish",
+            )
+            after = h.request("GET", "/predict?u=7&k=5&metric=CN").json()
+            assert after["predictions"] == before["predictions"]
+            assert after["snapshot"]["edges"] == before["snapshot"]["edges"]
+            stats = h.request("GET", "/statz").json()
+            assert stats["durability"]["recovering"] is False
+            recovery = stats["durability"]["recovery"]
+            assert recovery["records"] == recovery["records_to_replay"]
+            assert recovery["duration_s"] >= 0
+            # post-recovery writes are accepted and WAL'd
+            assert (
+                h.request("POST", "/ingest", body=b"8 9 16.0\n").status == 200
+            )
+        finally:
+            h.stop()
+
+    def test_recovering_server_serves_degraded_reads_only(self, tmp_path):
+        """While the WAL replays: reads 200+degraded, writes 503, not ready."""
+        wal_dir = tmp_path / "wal"
+        self.ingest_and_stop(wal_dir, drain=False, checkpoint_every=0)
+
+        h = durable_harness(wal_dir)
+        assert len(h.server._recovery_plan.records) == len(BATCHES)
+        gate = threading.Event()
+        original = h.store.replay_wal
+
+        def gated_replay(records):
+            gate.wait(timeout=30)
+            return original(records)
+
+        h.store.replay_wal = gated_replay
+        h.start()
+        try:
+            ready = h.request("GET", "/readyz")
+            assert ready.status == 503
+            assert "recovering" in json.loads(ready.body)["reasons"]
+
+            read = h.request("GET", "/predict?u=0&k=3&metric=CN")
+            assert read.status == 200
+            assert read.headers.get(DEGRADED_HEADER.lower()) == "recovering"
+            # degraded reads come from the base/checkpoint snapshot, not
+            # the not-yet-replayed WAL
+            assert read.json()["snapshot"]["edges"] == len(BASE_EVENTS)
+
+            write = h.request("POST", "/ingest", body=b"8 9 16.0\n")
+            assert write.status == 503
+            assert "write path not yet open" in json.loads(write.body)["detail"]
+
+            gate.set()
+            wait_until(
+                lambda: h.request("GET", "/readyz").status == 200,
+                detail="gated recovery to finish",
+            )
+            healthy = h.request("GET", "/predict?u=0&k=3&metric=CN")
+            assert healthy.headers.get(DEGRADED_HEADER.lower()) is None
+            assert healthy.json()["snapshot"]["edges"] > len(BASE_EVENTS)
+        finally:
+            gate.set()
+            h.stop()
+
+    def test_failed_recovery_leaves_a_read_only_server(self, tmp_path):
+        wal_dir = tmp_path / "wal"
+        self.ingest_and_stop(wal_dir, checkpoint_every=0)
+
+        h = durable_harness(wal_dir)
+
+        def broken_replay(records):
+            raise RuntimeError("replay exploded")
+
+        h.store.replay_wal = broken_replay
+        h.start()
+        try:
+            wait_until(
+                lambda: h.server._recovery_error is not None,
+                detail="recovery failure to register",
+            )
+            ready = h.request("GET", "/readyz")
+            assert ready.status == 503
+            reasons = json.loads(ready.body)["reasons"]
+            assert any("recovery failed" in r for r in reasons)
+            # reads survive, degraded; writes stay closed permanently
+            assert h.request("GET", "/predict?u=0&k=3&metric=CN").status == 200
+            write = h.request("POST", "/ingest", body=b"8 9 16.0\n")
+            assert write.status == 503
+            assert "read-only" in json.loads(write.body)["detail"]
+        finally:
+            h.stop()
+
+
+class TestWalFailureDegradation:
+    def test_wal_write_failure_trips_the_breaker(self, tmp_path, fault_plan):
+        """A sick WAL means no acked writes: breaker opens, reads stay up."""
+        config = ServeConfig(
+            port=0, workers=2, breaker_threshold=2, breaker_cooldown_s=30.0
+        )
+        h = durable_harness(tmp_path / "wal", config=config).start()
+        try:
+            fault_plan(errors={"wal.append": 99})
+            for _ in range(2):  # each failed WAL append is a 500...
+                response = h.request("POST", "/ingest", body=BATCHES[0])
+                assert response.status == 500
+                assert "wal.append" in json.loads(response.body)["detail"]
+            stats = h.request("GET", "/statz").json()
+            assert stats["breaker"]["state"] == "open"
+            # ...and past the threshold the breaker sheds writes with 503
+            shed = h.request("POST", "/ingest", body=BATCHES[0])
+            assert shed.status == 503
+            assert "circuit breaker" in json.loads(shed.body)["detail"]
+            # nothing was acked, so nothing may be in the WAL
+            assert h.server.store.durability.wal.seq == 0
+            # reads degrade to the last-good snapshot instead of failing
+            read = h.request("GET", "/predict?u=0&k=3&metric=CN")
+            assert read.status == 200
+            assert read.headers.get(DEGRADED_HEADER.lower()) == "stale-snapshot"
+        finally:
+            faults.clear()
+            h.stop()

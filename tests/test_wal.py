@@ -1,0 +1,319 @@
+"""WAL format, torn-tail taxonomy, checkpoints, retention, recovery."""
+
+from __future__ import annotations
+
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.graph.delta import DeltaGraph
+from repro.graph.dyngraph import TemporalGraph
+from repro.graph.wal import (
+    WAL_FILE,
+    WAL_MAGIC,
+    RecoveryError,
+    WalCorruptError,
+    WalMismatchError,
+    WriteAheadLog,
+    checkpoint_path,
+    list_checkpoints,
+    load_checkpoint,
+    newest_valid_checkpoint,
+    prune_checkpoints,
+    recover_state,
+    scan_wal,
+    verify_wal,
+    wal_fingerprint,
+    write_checkpoint,
+)
+from repro.ingest.policy import IngestPolicy
+
+
+def base_trace() -> TemporalGraph:
+    u = np.array([0, 1, 2, 0], dtype=np.int64)
+    v = np.array([1, 2, 3, 2], dtype=np.int64)
+    t = np.array([1.0, 2.0, 3.0, 4.0])
+    return TemporalGraph.from_columns(u, v, t, validated=True)
+
+
+POLICY = IngestPolicy.from_string("repair")
+
+
+def arrays(events):
+    return (
+        np.array([e[0] for e in events], dtype=np.int64),
+        np.array([e[1] for e in events], dtype=np.int64),
+        np.array([e[2] for e in events], dtype=np.float64),
+    )
+
+
+@pytest.fixture
+def wal_dir(tmp_path):
+    return str(tmp_path / "wal")
+
+
+def make_wal(wal_dir, batches, fingerprint=None):
+    os.makedirs(wal_dir, exist_ok=True)
+    fingerprint = fingerprint or wal_fingerprint(base_trace(), POLICY)
+    path = os.path.join(wal_dir, WAL_FILE)
+    log = WriteAheadLog.create(path, fingerprint)
+    for events in batches:
+        log.append(*arrays(events))
+        log.sync()
+    log.close()
+    return path
+
+
+BATCHES = [
+    [(3, 4, 5.0), (4, 5, 6.0)],
+    [(5, 6, 7.0)],
+    [(0, 6, 8.0), (1, 6, 8.5), (2, 7, 9.0)],
+]
+
+
+class TestFraming:
+    def test_round_trip_is_bit_exact(self, wal_dir):
+        path = make_wal(wal_dir, BATCHES)
+        header, records, tail = scan_wal(path)
+        assert tail.clean and tail.torn_bytes == 0
+        assert header["fingerprint"] == wal_fingerprint(base_trace(), POLICY)
+        assert [r.seq for r in records] == [1, 2, 3]
+        for record, events in zip(records, BATCHES):
+            u, v, t = arrays(events)
+            assert record.u.tobytes() == u.tobytes()
+            assert record.v.tobytes() == v.tobytes()
+            assert record.t.tobytes() == t.tobytes()
+            assert record.events() == events
+
+    def test_fingerprint_binds_trace_and_policy(self, wal_dir):
+        path = make_wal(wal_dir, BATCHES)
+        good = wal_fingerprint(base_trace(), POLICY)
+        scan_wal(path, good)  # matching fingerprint passes
+        with pytest.raises(WalMismatchError):
+            scan_wal(path, wal_fingerprint(base_trace(), IngestPolicy.strict()))
+        bigger = base_trace()
+        bigger.add_edge(7, 8, 10.0)
+        with pytest.raises(WalMismatchError):
+            scan_wal(path, wal_fingerprint(bigger, POLICY))
+
+    def test_missing_magic_and_missing_header_are_corrupt(self, tmp_path):
+        bad = tmp_path / "bad.log"
+        bad.write_bytes(b"not a wal at all")
+        with pytest.raises(WalCorruptError):
+            scan_wal(bad)
+        bad.write_bytes(WAL_MAGIC)  # magic but no header record
+        with pytest.raises(WalCorruptError):
+            scan_wal(bad)
+
+    def test_append_after_reopen_continues_sequence(self, wal_dir):
+        path = make_wal(wal_dir, BATCHES[:2])
+        log, records, tail = WriteAheadLog.open(path)
+        assert tail.clean and log.seq == 2
+        log.append(*arrays(BATCHES[2]))
+        log.close()
+        _, records, _ = scan_wal(path)
+        assert [r.seq for r in records] == [1, 2, 3]
+
+
+class TestTornTail:
+    """Crash damage (at physical EOF) is tolerated; mid-file damage is not."""
+
+    @pytest.mark.parametrize("garbage", [b"\x07", b"\x07\x00\x00\x00", b"\xff" * 37])
+    def test_trailing_garbage_is_a_torn_tail(self, wal_dir, garbage):
+        path = make_wal(wal_dir, BATCHES)
+        with open(path, "ab") as fh:
+            fh.write(garbage)
+        _, records, tail = scan_wal(path)
+        assert len(records) == 3  # every intact record survives
+        assert not tail.clean
+        assert tail.torn_bytes == len(garbage)
+
+    def test_truncated_final_record_is_a_torn_tail(self, wal_dir):
+        path = make_wal(wal_dir, BATCHES)
+        clean_size = os.path.getsize(path)
+        _, full, _ = scan_wal(path)
+        # every truncation point inside the final record is a tear
+        for cut in range(clean_size - 1, clean_size - 30, -7):
+            with open(path, "rb") as fh:
+                blob = fh.read()
+            torn_path = path + ".torn"
+            with open(torn_path, "wb") as fh:
+                fh.write(blob[:cut])
+            _, records, tail = scan_wal(torn_path)
+            assert not tail.clean
+            assert len(records) == len(full) - 1
+
+    def test_corrupt_final_checksum_is_a_torn_tail(self, wal_dir):
+        path = make_wal(wal_dir, BATCHES)
+        blob = bytearray(open(path, "rb").read())
+        blob[-1] ^= 0xFF  # flip a payload byte of the final record
+        open(path, "wb").write(bytes(blob))
+        _, records, tail = scan_wal(path)
+        assert len(records) == 2
+        assert not tail.clean
+
+    def test_midfile_corruption_raises(self, wal_dir):
+        path = make_wal(wal_dir, BATCHES)
+        blob = bytearray(open(path, "rb").read())
+        blob[len(WAL_MAGIC) + 30] ^= 0xFF  # inside the header record
+        open(path, "wb").write(bytes(blob))
+        with pytest.raises(WalCorruptError, match="mid-file|header"):
+            scan_wal(path)
+
+    def test_open_truncates_the_tear_and_resumes(self, wal_dir):
+        path = make_wal(wal_dir, BATCHES)
+        with open(path, "ab") as fh:
+            fh.write(b"\x13\x00\x00")
+        log, records, tail = WriteAheadLog.open(path)
+        assert tail.torn_bytes == 3 and len(records) == 3
+        log.append(*arrays([(9, 10, 11.0)]))
+        log.close()
+        report = verify_wal(path)
+        assert report.clean and report.records == 4
+
+
+class TestVerify:
+    def test_clean_torn_corrupt_statuses(self, wal_dir):
+        path = make_wal(wal_dir, BATCHES)
+        assert verify_wal(path).status == "clean"
+        assert verify_wal(path).events == 6
+        with open(path, "ab") as fh:
+            fh.write(b"\x01\x02")
+        torn = verify_wal(path)
+        assert torn.status == "torn" and torn.torn_bytes == 2
+        blob = bytearray(open(path, "rb").read())
+        blob[len(WAL_MAGIC) + 14] ^= 0xFF
+        open(path, "wb").write(bytes(blob))
+        assert verify_wal(path).status == "corrupt"
+
+
+class TestCheckpoints:
+    def engine_after(self, n_batches):
+        engine = DeltaGraph(base_trace())
+        for events in BATCHES[:n_batches]:
+            engine.apply(events)
+        return engine
+
+    def test_checkpoint_round_trip(self, wal_dir):
+        make_wal(wal_dir, BATCHES)
+        fp = wal_fingerprint(base_trace(), POLICY)
+        engine = self.engine_after(2)
+        path = write_checkpoint(wal_dir, 2, engine.trace, fp)
+        payload = load_checkpoint(path, fp)
+        assert payload is not None and payload["seq"] == 2
+        u, v, t = engine.trace.columns()
+        assert payload["u"].tobytes() == u.tobytes()
+        assert payload["v"].tobytes() == v.tobytes()
+        assert payload["t"].tobytes() == t.tobytes()
+
+    def test_damaged_checkpoints_load_as_none(self, wal_dir):
+        make_wal(wal_dir, BATCHES)
+        fp = wal_fingerprint(base_trace(), POLICY)
+        path = write_checkpoint(wal_dir, 1, self.engine_after(1).trace, fp)
+        blob = open(path, "rb").read()
+        # truncated
+        open(path, "wb").write(blob[: len(blob) // 2])
+        assert load_checkpoint(path, fp) is None
+        # not even a pickle
+        open(path, "wb").write(b"garbage")
+        assert load_checkpoint(path, fp) is None
+        # valid pickle, wrong shape
+        with open(path, "wb") as fh:
+            pickle.dump({"version": 999}, fh)
+        assert load_checkpoint(path, fp) is None
+
+    def test_checkpoint_fingerprint_mismatch_raises(self, wal_dir):
+        make_wal(wal_dir, BATCHES)
+        fp = wal_fingerprint(base_trace(), POLICY)
+        path = write_checkpoint(wal_dir, 1, self.engine_after(1).trace, fp)
+        with pytest.raises(WalMismatchError):
+            load_checkpoint(path, "0" * 64)
+
+    def test_retention_prunes_oldest_and_stray_tmp(self, wal_dir):
+        make_wal(wal_dir, BATCHES)
+        fp = wal_fingerprint(base_trace(), POLICY)
+        for seq in (1, 2, 3):
+            write_checkpoint(wal_dir, seq, self.engine_after(seq).trace, fp)
+        stray = checkpoint_path(wal_dir, 9) + ".tmp"
+        open(stray, "wb").write(b"partial")
+        removed = prune_checkpoints(wal_dir, keep=2)
+        assert removed == 2  # checkpoint-1 and the stray .tmp
+        assert [seq for seq, _ in list_checkpoints(wal_dir)] == [2, 3]
+        assert not os.path.exists(stray)
+
+    def test_newest_valid_preferred_over_newer_damaged(self, wal_dir):
+        """A truncated newer checkpoint falls back to the older valid one."""
+        make_wal(wal_dir, BATCHES)
+        fp = wal_fingerprint(base_trace(), POLICY)
+        write_checkpoint(wal_dir, 1, self.engine_after(1).trace, fp)
+        newer = write_checkpoint(wal_dir, 3, self.engine_after(3).trace, fp)
+        blob = open(newer, "rb").read()
+        open(newer, "wb").write(blob[: len(blob) - 20])  # truncate it
+        payload = newest_valid_checkpoint(wal_dir, fp)
+        assert payload is not None and payload["seq"] == 1
+        # recovery uses checkpoint 1 and replays records 2..3 on top
+        result = recover_state(wal_dir, base_trace(), POLICY)
+        assert result.checkpoint_seq == 1
+        assert result.records_replayed == 2
+        reference = self.engine_after(3)
+        ru, rv, rt = result.engine.trace.columns()
+        fu, fv, ft = reference.trace.columns()
+        assert (
+            ru.tobytes() == fu.tobytes()
+            and rv.tobytes() == fv.tobytes()
+            and rt.tobytes() == ft.tobytes()
+        )
+
+    def test_checkpoint_ahead_of_wal_is_skipped(self, wal_dir):
+        """A checkpoint claiming unlogged records must not be used."""
+        make_wal(wal_dir, BATCHES[:1])  # WAL has 1 record
+        fp = wal_fingerprint(base_trace(), POLICY)
+        write_checkpoint(wal_dir, 3, self.engine_after(3).trace, fp)
+        assert newest_valid_checkpoint(wal_dir, fp, max_seq=1) is None
+        result = recover_state(wal_dir, base_trace(), POLICY)
+        assert result.checkpoint_seq == 0 and result.records_replayed == 1
+
+
+class TestRecovery:
+    def test_recover_replays_to_reference_state(self, wal_dir):
+        make_wal(wal_dir, BATCHES)
+        result = recover_state(wal_dir, base_trace(), POLICY)
+        assert result.clean and result.wal_seq == 3
+        reference = DeltaGraph(base_trace())
+        for events in BATCHES:
+            reference.apply(events)
+        ru, rv, rt = result.engine.trace.columns()
+        fu, fv, ft = reference.trace.columns()
+        assert ru.tobytes() == fu.tobytes()
+        assert rv.tobytes() == fv.tobytes()
+        assert rt.tobytes() == ft.tobytes()
+
+    def test_recover_discards_torn_tail(self, wal_dir):
+        path = make_wal(wal_dir, BATCHES)
+        with open(path, "ab") as fh:
+            fh.write(b"\x55" * 9)
+        result = recover_state(wal_dir, base_trace(), POLICY)
+        assert result.torn_bytes == 9 and result.records_replayed == 3
+
+    def test_recover_rejects_wrong_lineage(self, wal_dir):
+        make_wal(wal_dir, BATCHES)
+        with pytest.raises(WalMismatchError):
+            recover_state(wal_dir, base_trace(), IngestPolicy.strict())
+
+    def test_recovery_error_carries_the_failed_result(self, wal_dir, monkeypatch):
+        make_wal(wal_dir, BATCHES)
+        from repro.graph import delta as delta_mod
+
+        class BadAudit:
+            ok = False
+
+            def summary(self):
+                return "audit: 1 VIOLATED (injected)"
+
+        monkeypatch.setattr(delta_mod.DeltaGraph, "audit", lambda self: BadAudit())
+        with pytest.raises(RecoveryError) as err:
+            recover_state(wal_dir, base_trace(), POLICY)
+        assert err.value.result.records_replayed == 3
+        assert not err.value.result.clean
