@@ -12,12 +12,26 @@ Times and memory-profiles loading a clean ``u v t`` trace file through
 Both sides are checked column-for-column byte-identical before any
 number is trusted, and the new path's ``tracemalloc`` peak is asserted
 strictly below the legacy peak (the "no per-line tuple mountain"
-guarantee).  Results go to ``BENCH_ingest.json`` at the repo root and
+guarantee).
+
+A second leg measures the sharded parallel path
+(:mod:`repro.ingest.shard`) at ``jobs`` in {1, 2, 4} over a 1M-event
+trace, asserting byte-identical columns/checksum against the serial
+pipeline for **every** policy (strict / repair / quarantine) before
+timing anything.  On a multi-core host the 4-worker row is expected to
+clear 1.5x over serial (chunk parsing dominates and is embarrassingly
+parallel; the planner's byte scan is the serial fraction); on the
+single-core container used for the committed run the pool only adds
+process spin-up and IPC, so the rows document overhead, not speedup —
+re-run on multi-core hardware to regenerate the scaling note (same
+caveat as the parallel-runner bench, see EXPERIMENTS.md).
+
+Results go to ``BENCH_ingest.json`` at the repo root and
 ``benchmarks/results/ingest.txt``.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/bench_ingest.py          # 150k + 500k events, writes BENCH_ingest.json
+    PYTHONPATH=src python benchmarks/bench_ingest.py          # 150k + 500k + 1M-shard rows, writes BENCH_ingest.json
     PYTHONPATH=src python benchmarks/bench_ingest.py --smoke  # ~60k events only, no JSON (CI)
 """
 
@@ -38,11 +52,17 @@ sys.path.insert(0, str(Path(__file__).resolve().parent))
 
 from _common import build_report, write_report
 from repro.graph.dyngraph import TemporalGraph
-from repro.ingest import load_trace
+from repro.ingest import IngestPolicy, load_trace, scan_trace
+from repro.ingest.shard import scan_shards
 
 #: (label, number of events).
 SIZES = (("medium", 150_000), ("large", 500_000))
 SMOKE_SIZES = (("smoke", 60_000),)
+
+#: events and worker counts for the sharded-scaling leg.
+SHARD_EVENTS = 1_000_000
+SMOKE_SHARD_EVENTS = 60_000
+SHARD_JOBS = (1, 2, 4)
 
 
 def synthesize_trace_file(path: Path, n_events: int, seed: int = 7) -> None:
@@ -159,7 +179,79 @@ def bench_size(label: str, n_events: int, workdir: Path) -> dict:
     }
 
 
+def _assert_shard_policy_parity(trace_path: Path, jobs: int) -> None:
+    """Bitwise serial/sharded equivalence for every policy, in-bench."""
+    for policy_name in ("strict", "repair", "quarantine"):
+        policy = IngestPolicy.from_string(policy_name)
+        su, sv, st_, serial_report = scan_trace(trace_path, policy=policy)
+        pu, pv, pt, shard_report = scan_shards(
+            [trace_path], policy=policy, jobs=jobs,
+            target_shards=max(4, 2 * jobs),
+        )
+        assert pu.tobytes() == su.tobytes(), f"{policy_name}: u diverged"
+        assert pv.tobytes() == sv.tobytes(), f"{policy_name}: v diverged"
+        assert pt.tobytes() == st_.tobytes(), f"{policy_name}: t diverged"
+        assert shard_report.checksum == serial_report.checksum, policy_name
+        assert shard_report.flagged == serial_report.flagged, policy_name
+        assert shard_report.quarantined == serial_report.quarantined, policy_name
+
+
+def bench_shard_scaling(n_events: int, workdir: Path) -> "list[dict]":
+    """Worker-scaling rows: serial pipeline vs scan_shards(jobs=N)."""
+    trace_path = workdir / "trace_shard.txt"
+    synthesize_trace_file(trace_path, n_events)
+    _assert_shard_policy_parity(trace_path, jobs=max(SHARD_JOBS))
+
+    serial_s = float("inf")
+    for _ in range(2):
+        gc.collect()
+        started = time.perf_counter()
+        ref = scan_trace(trace_path)
+        serial_s = min(serial_s, time.perf_counter() - started)
+    ref_t, ref_report = ref[2], ref[3]
+    assert ref_report.events_accepted == n_events
+
+    entries = []
+    label_k = f"{n_events // 1000}k"
+    for jobs in SHARD_JOBS:
+        gc.collect()
+        elapsed = float("inf")
+        for _ in range(2):
+            started = time.perf_counter()
+            us, vs, ts, report = scan_shards(
+                [trace_path], jobs=jobs, target_shards=max(4, 2 * jobs)
+            )
+            elapsed = min(elapsed, time.perf_counter() - started)
+        assert report.checksum == ref_report.checksum
+        assert ts.tobytes() == ref_t.tobytes()
+        workers = [
+            row for row in report.shard_timings if row["shard"] != "plan"
+        ]
+        plan_s = sum(
+            row["seconds"] for row in report.shard_timings
+            if row["shard"] == "plan"
+        )
+        entries.append({
+            "label": f"shard_{label_k}_jobs{jobs}",
+            "events": n_events,
+            "jobs": jobs,
+            "shards": len(workers),
+            "serial_s": round(serial_s, 4),
+            "sharded_s": round(elapsed, 4),
+            "speedup_vs_serial": round(serial_s / elapsed, 2),
+            "plan_s": round(plan_s, 4),
+            "worker_s_sum": round(sum(r["seconds"] for r in workers), 4),
+        })
+    return entries
+
+
 def _summary_line(e: dict) -> str:
+    if "jobs" in e:
+        return (
+            f"{e['label']:>18} (E={e['events']}, jobs={e['jobs']}, "
+            f"{e['shards']} shards): serial {e['serial_s']}s -> "
+            f"sharded {e['sharded_s']}s ({e['speedup_vs_serial']}x)"
+        )
     return (
         f"{e['label']:>6} (E={e['events']}): load {e['speedup']}x faster, "
         f"peak mem {e['peak_reduction']}x smaller "
@@ -167,7 +259,7 @@ def _summary_line(e: dict) -> str:
     )
 
 
-def run(sizes, write_json: bool) -> dict:
+def run(sizes, shard_events: int, write_json: bool) -> dict:
     entries = []
     with TemporaryDirectory() as tmp:
         for label, n_events in sizes:
@@ -178,6 +270,14 @@ def run(sizes, write_json: bool) -> dict:
                 f"legacy {entry['legacy_s']}s / {entry['legacy_peak_bytes']} B peak, "
                 f"ingest {entry['ingest_s']}s / {entry['ingest_peak_bytes']} B peak "
                 f"({entry['speedup']}x faster, {entry['peak_reduction']}x less memory)"
+            )
+        for entry in bench_shard_scaling(shard_events, Path(tmp)):
+            entries.append(entry)
+            print(
+                f"[{entry['label']}] jobs={entry['jobs']} over "
+                f"{entry['shards']} shards: serial {entry['serial_s']}s -> "
+                f"sharded {entry['sharded_s']}s "
+                f"({entry['speedup_vs_serial']}x, plan {entry['plan_s']}s)"
             )
 
     report = build_report("ingest", entries)
@@ -194,7 +294,11 @@ def main() -> None:
         help="~60k events only, parity-checked, no BENCH_ingest.json rewrite",
     )
     args = parser.parse_args()
-    run(SMOKE_SIZES if args.smoke else SIZES, write_json=not args.smoke)
+    run(
+        SMOKE_SIZES if args.smoke else SIZES,
+        shard_events=SMOKE_SHARD_EVENTS if args.smoke else SHARD_EVENTS,
+        write_json=not args.smoke,
+    )
 
 
 if __name__ == "__main__":

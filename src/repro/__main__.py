@@ -9,7 +9,11 @@ suggest    print top-k link recommendations for the latest snapshot
 report     markdown predictability report for a trace
 experiment run a JSON ``ExperimentSpec`` (alias: ``run``; ``--jobs N``
            parallelises it, ``--telemetry PATH`` records a trace)
+ingest     parse + validate trace file(s) and print the ingest report
+           (``--jobs N`` shards the parse across processes with
+           byte-identical output; ``--manifest`` caches verified shards)
 audit      diagnose a trace file: ingest taxonomy + graph-integrity audit
+           (``--shards``/``--manifest`` audit multi-file shard sets)
 trace      inspect a recorded telemetry trace (``summary`` / ``show``)
 serve      online link-prediction HTTP service over a trace's delta engine
            (``--wal DIR`` adds WAL-backed durability + crash recovery)
@@ -35,6 +39,7 @@ Examples
     python -m repro suggest --dataset facebook --metric RA -k 10
     python -m repro run --spec spec.json --jobs 8 --telemetry run.trace.jsonl
     python -m repro trace summary run.trace.jsonl
+    python -m repro ingest crawl.txt --jobs 4 --manifest crawl.shards.json
     python -m repro audit --trace crawl.txt.gz
     python -m repro serve --trace fb.txt --port 8080 --queue-size 64
 """
@@ -149,20 +154,95 @@ def cmd_generate(args) -> int:
     return 0
 
 
+def cmd_ingest(args) -> int:
+    """Parse + validate trace file(s), optionally sharded, print the report.
+
+    With ``--jobs > 1`` (or ``$REPRO_JOBS``) the files are split into
+    line-aligned shards and parsed over a process pool; output — columns,
+    checksum, taxonomy counts, rejects sidecars — is byte-identical to a
+    serial ingest of the same stream.  ``--manifest`` persists the shard
+    plan (``repro-shards v1``) so a re-ingest skips the parse of every
+    shard whose bytes still hash to the planned checksum.
+    """
+    from repro.ingest import IngestPolicy, scan_trace
+    from repro.ingest.shard import resolve_jobs, scan_shards
+
+    policy = IngestPolicy.from_string(args.policy)
+    jobs = resolve_jobs(args.jobs)
+    plain_serial = (
+        jobs == 1
+        and len(args.traces) == 1
+        and args.manifest is None
+        and args.shards is None
+        and args.shard_bytes is None
+    )
+    if plain_serial:
+        # --jobs 1 on one file is the reference serial pipeline, so the
+        # CI parity smoke compares serial vs sharded, not shard vs shard.
+        _us, _vs, _ts, report = scan_trace(
+            args.traces[0], policy=policy, quarantine_path=args.rejects
+        )
+    else:
+        _us, _vs, _ts, report = scan_shards(
+            args.traces, policy=policy, quarantine_path=args.rejects,
+            jobs=jobs, shard_bytes=args.shard_bytes,
+            target_shards=args.shards, manifest=args.manifest,
+        )
+    print(report.summary(), file=sys.stderr)
+    if args.json:
+        print(report.to_json())
+    else:
+        print(
+            f"{report.events_accepted} events accepted, "
+            f"checksum {report.checksum}"
+        )
+    return 0
+
+
+def _audit_target(args, policy):
+    """Resolve the audit's input set and load it; returns (trace, label)."""
+    from repro.ingest import load_trace
+    from repro.ingest.shard import load_shards, manifest_sources, resolve_jobs
+
+    jobs = resolve_jobs(getattr(args, "jobs", None))
+    shards = getattr(args, "shards", None)
+    manifest = getattr(args, "manifest", None)
+    if shards:
+        paths = list(shards)
+    elif args.trace:
+        paths = [args.trace]
+    elif manifest:
+        paths = manifest_sources(manifest)
+    else:
+        raise ValueError("audit needs --trace, --shards, or --manifest")
+    if len(paths) == 1 and manifest is None and jobs == 1:
+        trace = load_trace(
+            paths[0], policy=policy, quarantine_path=args.rejects
+        )
+    else:
+        trace = load_shards(
+            paths, policy=policy, jobs=jobs, manifest=manifest,
+            quarantine_path=args.rejects if len(paths) == 1 else None,
+        )
+    return trace, ", ".join(str(p) for p in paths)
+
+
 def cmd_audit(args) -> int:
-    """Diagnose a trace file end to end: ingest taxonomy + core invariants.
+    """Diagnose a trace end to end: ingest taxonomy + core invariants.
 
     Loads under a diagnostic (default: repair-everything) policy so a dirty
     file is fully classified instead of aborting at the first error, prints
     the ingest and audit summaries to stderr, and exits 1 when anything was
-    flagged — the fail-fast gate CI runs on fixture traces.
+    flagged — the fail-fast gate CI runs on fixture traces.  ``--shards``
+    audits a multi-file shard set as one stream; ``--jobs`` parallelises
+    the load (identical verdicts either way).
     """
     from repro.graph.audit import audit_graph
-    from repro.ingest import IngestPolicy, TraceFormatError, load_trace
+    from repro.ingest import IngestPolicy, TraceFormatError
 
     policy = IngestPolicy.from_string(args.policy)
     try:
-        trace = load_trace(args.trace, policy=policy, quarantine_path=args.rejects)
+        trace, label = _audit_target(args, policy)
     except TraceFormatError as exc:
         print(f"[ingest] {exc}", file=sys.stderr)
         return 1
@@ -173,7 +253,7 @@ def cmd_audit(args) -> int:
     clean = ingest_report.clean and audit_report.ok
     if args.delta is not None:
         clean = _delta_replay_audit(trace, args.delta) and clean
-    print(f"{args.trace}: {'clean' if clean else 'FLAGGED'} — {trace}")
+    print(f"{label}: {'clean' if clean else 'FLAGGED'} — {trace}")
     return 0 if clean else 1
 
 
@@ -541,12 +621,88 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_generate)
 
     p = sub.add_parser(
+        "ingest",
+        help="parse + validate trace(s), optionally sharded in parallel",
+        epilog=_EXIT_CODES_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    p.add_argument(
+        "traces", nargs="+", metavar="TRACE",
+        help="trace file(s) in stream order (a multi-file shard set is "
+        "ingested as one concatenated stream)",
+    )
+    p.add_argument(
+        "--policy",
+        default="default",
+        choices=["default", "strict", "repair", "quarantine"],
+        help="ingest policy (default: default)",
+    )
+    p.add_argument(
+        "--jobs",
+        type=int,
+        help="parallel ingest workers (default: $REPRO_JOBS if set, else "
+        "1 = serial; 0 = one per CPU core; output is byte-identical for "
+        "every value)",
+    )
+    p.add_argument(
+        "--shards",
+        type=_positive_int,
+        metavar="N",
+        help="target shard count when splitting plain-text files "
+        "(default: 2x jobs)",
+    )
+    p.add_argument(
+        "--shard-bytes",
+        type=_positive_int,
+        metavar="B",
+        help="split plain-text files into ~B-byte line-aligned chunks "
+        "(overrides --shards; gzip members are always whole-file shards)",
+    )
+    p.add_argument(
+        "--manifest",
+        metavar="PATH",
+        help="repro-shards v1 manifest: read to skip re-parsing shards "
+        "whose bytes still match their planned checksum, rewritten to "
+        "describe this run",
+    )
+    p.add_argument(
+        "--rejects",
+        help="sidecar path for quarantined lines (single trace only; "
+        "default: <trace>.rejects)",
+    )
+    p.add_argument(
+        "--json",
+        action="store_true",
+        help="print the full ingest-report JSON to stdout",
+    )
+    p.set_defaults(func=cmd_ingest)
+
+    p = sub.add_parser(
         "audit",
         help="diagnose a trace file (ingest taxonomy + invariants)",
         epilog=_EXIT_CODES_EPILOG,
         formatter_class=argparse.RawDescriptionHelpFormatter,
     )
-    p.add_argument("--trace", required=True, help="path to a 'u v t' trace file")
+    p.add_argument("--trace", help="path to a 'u v t' trace file")
+    p.add_argument(
+        "--shards",
+        nargs="+",
+        metavar="TRACE",
+        help="audit a multi-file shard set as one concatenated stream "
+        "(alternative to --trace)",
+    )
+    p.add_argument(
+        "--manifest",
+        metavar="PATH",
+        help="repro-shards v1 manifest; alone it names the source files "
+        "to audit, with --shards/--trace it is used as the parse cache",
+    )
+    p.add_argument(
+        "--jobs",
+        type=int,
+        help="parallel ingest workers (default: $REPRO_JOBS if set, else "
+        "1; 0 = one per CPU core; verdicts are identical for every value)",
+    )
     p.add_argument(
         "--policy",
         default="repair",

@@ -68,6 +68,7 @@ def read_trace(
     path: "str | os.PathLike[str]",
     policy: "IngestPolicy | None" = None,
     quarantine_path: "str | os.PathLike[str] | None" = None,
+    jobs: "int | None" = None,
 ) -> TemporalGraph:
     """Load a trace file into a :class:`TemporalGraph`.
 
@@ -76,7 +77,10 @@ def read_trace(
     by one vectorised ``argsort``, and every bad record classified and
     handled per ``policy`` (default: malformed lines and self-loops raise,
     duplicates drop, unsorted files sort — the legacy contract, now
-    counted).  The load's provenance is attached as
-    ``trace.ingest_report``.
+    counted).  ``jobs > 1`` parses through the sharded parallel path
+    (:mod:`repro.ingest.shard`) with byte-identical output.  The load's
+    provenance is attached as ``trace.ingest_report``.
     """
-    return load_trace(path, policy=policy, quarantine_path=quarantine_path)
+    return load_trace(
+        path, policy=policy, quarantine_path=quarantine_path, jobs=jobs
+    )

@@ -15,7 +15,13 @@ Public surface:
 - :class:`IngestPolicy` — per-error-class ``strict`` / ``repair`` /
   ``quarantine`` actions;
 - :class:`TraceFormatError` — located, classified format errors;
-- :func:`read_rejects` — parse a quarantine sidecar back losslessly.
+- :func:`read_rejects` — parse a quarantine sidecar back losslessly
+  (also accepts a ``repro-shards v1`` manifest);
+- :mod:`repro.ingest.shard` — parallel sharded ingest with ordered merge
+  (``load_trace(..., jobs=N)`` delegates to it; byte-identical output).
+
+The shard subsystem is imported lazily (``from repro.ingest import
+shard``) so the serial hot path pays nothing for it.
 """
 
 from repro.ingest.errors import ERROR_CLASSES, RejectRecord, TraceFormatError

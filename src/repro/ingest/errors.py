@@ -75,8 +75,14 @@ class TraceFormatError(ValueError):
 
 @dataclass(frozen=True)
 class RejectRecord:
-    """One quarantined line, as stored in a ``.rejects`` sidecar file."""
+    """One quarantined line, as stored in a ``.rejects`` sidecar file.
+
+    ``path`` is the source trace the line came from — empty for sidecars
+    read standalone, populated when records are gathered across a shard
+    manifest (where linenos alone no longer identify a line).
+    """
 
     lineno: int
     error_class: str
     line: str
+    path: str = ""

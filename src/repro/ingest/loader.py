@@ -135,6 +135,22 @@ def _strict_error(
     return TraceFormatError(error_class, str(path), lineno, line, detail)
 
 
+class _DeferredStrict(Exception):
+    """Internal: a strict-class offender found while ``defer_strict`` is on.
+
+    Raised by :meth:`_Ingest.flag_mask` inside shard workers instead of a
+    :class:`TraceFormatError`, so the worker can ship the offender back to
+    the driver, which re-raises the *globally first* offender — the same
+    one the serial pipeline would have raised.
+    """
+
+    def __init__(self, error_class: str, lineno: int, detail: str) -> None:
+        super().__init__(f"[{error_class}] line {lineno}: {detail}")
+        self.error_class = error_class
+        self.lineno = lineno
+        self.detail = detail
+
+
 # ---------------------------------------------------------------------------
 # Block parsing
 # ---------------------------------------------------------------------------
@@ -169,23 +185,60 @@ class _ColumnAccumulator:
 
 
 class _Ingest:
-    """State of one load: policy application, counters, quarantine set."""
+    """State of one load: policy application, counters, quarantine set.
+
+    ``defer_strict`` turns strict-mode raising into *recording*: parse-stage
+    offenders accumulate in :attr:`pending` (minimum line number wins) and
+    vectorised-stage offenders surface as :class:`_DeferredStrict`.  The
+    shard workers run in this mode so the merge stage — not an arbitrary
+    worker — decides which offender the whole load reports, reproducing the
+    serial pipeline's first-offender choice exactly.
+    """
 
     def __init__(
         self,
         path: "str | os.PathLike[str]",
         policy: IngestPolicy,
         report: IngestReport,
+        defer_strict: bool = False,
     ) -> None:
         self.path = path
         self.policy = policy
         self.report = report
+        self.defer_strict = defer_strict
         #: lineno -> error class, for the sidecar re-read pass.
         self.quarantined: dict[int, str] = {}
+        #: earliest parse-stage strict offender: (lineno, class, line, detail).
+        self.pending: "tuple[int, str, str, str] | None" = None
 
     # -- counting helpers ----------------------------------------------
     def _bump(self, bucket: "dict[str, int]", error_class: str, n: int = 1) -> None:
         bucket[error_class] = bucket.get(error_class, 0) + n
+
+    # -- strict-mode hooks ----------------------------------------------
+    def strict_error(
+        self, error_class: str, key: int, detail: str, line: "str | None" = None
+    ) -> TraceFormatError:
+        """Build the strict-mode error for offender ``key`` (a line number
+        here; the shard merge subclass decodes composite shard keys)."""
+        return _strict_error(error_class, self.path, key, detail, line)
+
+    def raise_pending(self) -> None:
+        """Raise the recorded parse-stage offender (block-deferred strict).
+
+        Called after each parsed block: all of a block's offenders are
+        classified first, then the one with the smallest line number
+        raises — deterministic regardless of how lines group into parse
+        blocks, which is what makes the sharded path's strict errors
+        byte-identical to the serial path's.
+        """
+        if self.pending is not None and not self.defer_strict:
+            lineno, error_class, line, detail = self.pending
+            raise self.strict_error(error_class, lineno, detail, line)
+
+    def _quarantine_keys(self, error_class: str, keys: np.ndarray) -> None:
+        for lineno in keys.tolist():
+            self.quarantined[lineno] = error_class
 
     def flag_line(
         self, error_class: str, lineno: int, line: str, detail: str
@@ -193,12 +246,16 @@ class _Ingest:
         """Apply the policy to one parse-stage offender.
 
         Returns True when the line should be kept (never, currently: both
-        repair and quarantine drop parse-stage offenders).
+        repair and quarantine drop parse-stage offenders).  Strict-class
+        offenders are recorded, not raised — :meth:`raise_pending` fires
+        at the end of the block.
         """
         self._bump(self.report.flagged, error_class)
         action = self.policy.action(error_class)
         if action == "strict":
-            raise _strict_error(error_class, self.path, lineno, detail, line)
+            if self.pending is None or lineno < self.pending[0]:
+                self.pending = (lineno, error_class, line, detail)
+            return False
         if action == "repair":
             self._bump(self.report.repaired, error_class)
         else:
@@ -226,16 +283,17 @@ class _Ingest:
         action = self.policy.action(error_class)
         if action == "strict":
             offenders = np.flatnonzero(mask)
-            first = offenders[np.argmin(linenos[offenders])]
-            raise _strict_error(
-                error_class, self.path, int(linenos[first]), detail_of(int(first))
-            )
+            first = int(offenders[np.argmin(linenos[offenders])])
+            key = int(linenos[first])
+            detail = detail_of(first)
+            if self.defer_strict:
+                raise _DeferredStrict(error_class, key, detail)
+            raise self.strict_error(error_class, key, detail)
         if action == "repair":
             self._bump(self.report.repaired, error_class, n)
         else:
             self._bump(self.report.quarantined, error_class, n)
-            for lineno in linenos[mask].tolist():
-                self.quarantined[lineno] = error_class
+            self._quarantine_keys(error_class, linenos[mask])
         return action
 
 
@@ -355,39 +413,62 @@ def _parse_block(
         out.append(ln[order], u[order], v[order], t[order])
 
 
+def _consume_lines(
+    line_iter,
+    ingest: _Ingest,
+    out: _ColumnAccumulator,
+    first_lineno: int = 1,
+) -> None:
+    """Feed raw lines through blocking + block parsing into ``out``.
+
+    Shared by the serial reader (the whole file, ``first_lineno=1``) and
+    the shard workers (one byte-range chunk, ``first_lineno`` = the
+    chunk's global start line) — the parse path is literally the same
+    code either way, which is what makes shard output byte-identical.
+
+    Strict parse-stage offenders raise at the end of their block via
+    :meth:`_Ingest.raise_pending` (block-internal minimum line number
+    wins), so the choice of first offender does not depend on how lines
+    happen to group into blocks or chunks.
+    """
+    report = ingest.report
+    block_lines: list[str] = []
+    block_nos: list[int] = []
+    for lineno, raw in enumerate(line_iter, start=first_lineno):
+        report.lines_total += 1
+        line = raw.strip()
+        if not line:
+            report.blank_lines += 1
+            continue
+        if line.startswith("#"):
+            report.comment_lines += 1
+            if report.format_version is None and line.startswith(
+                FORMAT_HEADER_PREFIX
+            ):
+                version = line[len(FORMAT_HEADER_PREFIX) :].strip()
+                if version.isdigit():
+                    report.format_version = int(version)
+            continue
+        block_lines.append(line)
+        block_nos.append(lineno)
+        if len(block_lines) >= BLOCK_LINES:
+            report.events_parsed += len(block_lines)
+            _parse_block(block_lines, block_nos, ingest, out)
+            ingest.raise_pending()
+            block_lines, block_nos = [], []
+    if block_lines:
+        report.events_parsed += len(block_lines)
+        _parse_block(block_lines, block_nos, ingest, out)
+        ingest.raise_pending()
+
+
 def _read_columns(
     path: "str | os.PathLike[str]", ingest: _Ingest
 ) -> "tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]":
     """Stream the file into ``(lineno, u, v, t)`` columns, block by block."""
-    report = ingest.report
     out = _ColumnAccumulator()
-    block_lines: list[str] = []
-    block_nos: list[int] = []
     with open_trace_text(path) as fh:
-        for lineno, raw in enumerate(fh, start=1):
-            report.lines_total += 1
-            line = raw.strip()
-            if not line:
-                report.blank_lines += 1
-                continue
-            if line.startswith("#"):
-                report.comment_lines += 1
-                if report.format_version is None and line.startswith(
-                    FORMAT_HEADER_PREFIX
-                ):
-                    version = line[len(FORMAT_HEADER_PREFIX) :].strip()
-                    if version.isdigit():
-                        report.format_version = int(version)
-                continue
-            block_lines.append(line)
-            block_nos.append(lineno)
-            if len(block_lines) >= BLOCK_LINES:
-                report.events_parsed += len(block_lines)
-                _parse_block(block_lines, block_nos, ingest, out)
-                block_lines, block_nos = [], []
-    if block_lines:
-        report.events_parsed += len(block_lines)
-        _parse_block(block_lines, block_nos, ingest, out)
+        _consume_lines(fh, ingest, out)
     return out.concatenate()
 
 
@@ -400,19 +481,21 @@ def _drop(
     return tuple(col[keep] for col in columns)
 
 
-def _validate_columns(
+def _validate_local(
     ln: np.ndarray,
     u: np.ndarray,
     v: np.ndarray,
     t: np.ndarray,
     ingest: _Ingest,
-) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
-    """Run the structural taxonomy checks, in order, applying the policy.
+) -> "tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]":
+    """Checks 1–4: the *row-local* half of the taxonomy.
 
-    Returns the accepted, canonical (``u < v``), time-sorted columns.
-    The check order is fixed and documented: node ids, finite times,
-    negative times, self-loops, ordering, duplicates — a strict policy
-    reports the first class in this order that has an offender.
+    Each of these classes (bad node ids, non-finite times, negative
+    times, self-loops) judges a row by its own values only, so shard
+    workers can run this half independently per chunk and produce
+    exactly the rows the serial pipeline would have kept — the
+    stream-global half (:func:`_validate_stream`) then runs once over
+    the merged columns.
     """
     # 1. bad_node_id — negative ids (non-integer ids never parse to here).
     mask = (u < 0) | (v < 0)
@@ -450,6 +533,23 @@ def _validate_columns(
     ) in ("repair", "quarantine"):
         ln, u, v, t = _drop(~mask, ln, u, v, t)
 
+    return ln, u, v, t
+
+
+def _validate_stream(
+    ln: np.ndarray,
+    u: np.ndarray,
+    v: np.ndarray,
+    t: np.ndarray,
+    ingest: _Ingest,
+) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
+    """Checks 5–6: the *stream-global* half of the taxonomy.
+
+    Ordering and duplicate detection depend on every preceding event, so
+    the sharded path re-runs exactly this function over the concatenated
+    worker columns — same code, same masks, same repairs as serial.
+    Returns the accepted, canonical (``u < v``), time-sorted columns.
+    """
     # 5. out_of_order — an event earlier than some preceding event.  Repair
     #    is one stable argsort over the time column (ties keep file order);
     #    quarantine drops the offenders, after which the remainder is
@@ -491,6 +591,24 @@ def _validate_columns(
     return us, vs, t
 
 
+def _validate_columns(
+    ln: np.ndarray,
+    u: np.ndarray,
+    v: np.ndarray,
+    t: np.ndarray,
+    ingest: _Ingest,
+) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
+    """Run the structural taxonomy checks, in order, applying the policy.
+
+    Returns the accepted, canonical (``u < v``), time-sorted columns.
+    The check order is fixed and documented: node ids, finite times,
+    negative times, self-loops, ordering, duplicates — a strict policy
+    reports the first class in this order that has an offender.
+    """
+    ln, u, v, t = _validate_local(ln, u, v, t, ingest)
+    return _validate_stream(ln, u, v, t, ingest)
+
+
 # ---------------------------------------------------------------------------
 # Quarantine sidecar
 # ---------------------------------------------------------------------------
@@ -498,15 +616,19 @@ def _write_rejects(
     quarantine_path: "str | os.PathLike[str]",
     source: "str | os.PathLike[str]",
     quarantined: "dict[int, str]",
+    raw: "dict[int, str] | None" = None,
 ) -> None:
     """Divert the offending raw lines to the sidecar, in file order.
 
     The raw text comes from one extra read pass over the source (only on
-    the quarantine path), so the hot path never buffers lines.  Records
-    are tab-separated ``lineno, class, raw line`` — raw lines may contain
-    further tabs, hence the ``maxsplit=2`` in :func:`read_rejects`.
+    the quarantine path), so the hot path never buffers lines; the
+    sharded merge passes ``raw`` directly (workers already re-read their
+    own chunk) to skip that pass.  Records are tab-separated ``lineno,
+    class, raw line`` — raw lines may contain further tabs, hence the
+    ``maxsplit=2`` in :func:`read_rejects`.
     """
-    raw = _fetch_lines(source, set(quarantined))
+    if raw is None:
+        raw = _fetch_lines(source, set(quarantined))
     with open(quarantine_path, "w", encoding="utf-8") as fh:
         fh.write("# repro-rejects v1\n")
         fh.write(f"# source: {source}\n")
@@ -516,12 +638,26 @@ def _write_rejects(
 
 
 def read_rejects(path: "str | os.PathLike[str]") -> "list[RejectRecord]":
-    """Parse a ``.rejects`` sidecar back into records (lossless)."""
+    """Parse a ``.rejects`` sidecar back into records (lossless).
+
+    Also accepts a ``repro-shards v1`` manifest, in which case the
+    per-source sidecars it references are read in shard order and each
+    record carries its source trace in :attr:`RejectRecord.path`.
+    """
+    with open(path, "rb") as probe:
+        head = probe.read(1)
+    if head == b"{":
+        from repro.ingest.shard.planner import read_manifest_rejects
+
+        return read_manifest_rejects(path)
     records: list[RejectRecord] = []
+    source = ""
     with open(path, encoding="utf-8") as fh:
         for lineno, line in enumerate(fh, start=1):
             line = line.rstrip("\r\n")
             if not line or line.startswith("#"):
+                if line.startswith("# source: "):
+                    source = line[len("# source: ") :]
                 continue
             fields = line.split("\t", 2)
             if len(fields) != 3:
@@ -529,7 +665,9 @@ def read_rejects(path: "str | os.PathLike[str]") -> "list[RejectRecord]":
                     "parse_error", str(path), lineno, line,
                     "expected 'lineno<TAB>class<TAB>raw line'",
                 )
-            records.append(RejectRecord(int(fields[0]), fields[1], fields[2]))
+            records.append(
+                RejectRecord(int(fields[0]), fields[1], fields[2], source)
+            )
     return records
 
 
@@ -549,12 +687,32 @@ def scan_trace(
     path: "str | os.PathLike[str]",
     policy: "IngestPolicy | None" = None,
     quarantine_path: "str | os.PathLike[str] | None" = None,
+    jobs: "int | None" = None,
 ) -> "tuple[np.ndarray, np.ndarray, np.ndarray, IngestReport]":
     """Run the full ingest pipeline, returning accepted columns + report.
 
     The array-level entry point: :func:`load_trace` wraps it in a
     ``TemporalGraph``; the auditor and benchmarks use it directly.
+
+    ``jobs`` selects the sharded parallel path (``repro.ingest.shard``)
+    when > 1; ``None`` defers to ``$REPRO_JOBS`` (unset: serial) and 1
+    keeps the serial pipeline below.  Both paths produce byte-identical
+    columns, checksum, taxonomy counts, and rejects sidecar.
     """
+    if jobs is None:
+        # Literal env name (not shard.JOBS_ENV_VAR) so the serial hot
+        # path never imports the shard subsystem just to check it; the
+        # shard path's resolve_jobs re-reads and validates the value.
+        env = os.environ.get("REPRO_JOBS")
+        sharded = bool(env) and env != "1"
+    else:
+        sharded = int(jobs) != 1
+    if sharded:
+        from repro.ingest.shard import scan_shards
+
+        return scan_shards(
+            [path], policy=policy, quarantine_path=quarantine_path, jobs=jobs
+        )
     policy = policy or IngestPolicy.default()
     report = IngestReport(
         path=str(path), policy=policy.describe(), gzip=is_gzip(path)
@@ -608,16 +766,18 @@ def load_trace(
     path: "str | os.PathLike[str]",
     policy: "IngestPolicy | None" = None,
     quarantine_path: "str | os.PathLike[str] | None" = None,
+    jobs: "int | None" = None,
 ) -> TemporalGraph:
     """Load a trace file into a :class:`TemporalGraph`, hardened.
 
     ``policy`` defaults to the legacy-compatible
     :meth:`IngestPolicy.default` (malformed lines and self-loops raise,
     duplicates drop, unsorted files sort).  The returned graph carries the
-    load's :class:`IngestReport` as ``trace.ingest_report``.
+    load's :class:`IngestReport` as ``trace.ingest_report``.  ``jobs > 1``
+    ingests through the sharded parallel path with byte-identical output.
     """
     us, vs, ts, report = scan_trace(
-        path, policy=policy, quarantine_path=quarantine_path
+        path, policy=policy, quarantine_path=quarantine_path, jobs=jobs
     )
     trace = TemporalGraph.from_columns(us, vs, ts, validated=True)
     trace.ingest_report = report

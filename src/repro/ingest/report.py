@@ -52,6 +52,15 @@ class IngestReport:
     gzip: bool = False
     #: format version parsed from a ``# repro-trace vN`` header, if present.
     format_version: "int | None" = None
+    #: every source trace file, in stream order (multi-file shard sets;
+    #: empty for a plain single-file load so serial payloads are stable).
+    sources: list = field(default_factory=list)
+    #: per-source sidecar paths for multi-file shard sets (satellite of
+    #: quarantine_path, which stays the single/primary sidecar).
+    quarantine_paths: list = field(default_factory=list)
+    #: per-shard worker timing rows from a sharded ingest: dicts with
+    #: ``shard`` (label), ``events``, ``seconds``, ``attempts``, ``cached``.
+    shard_timings: list = field(default_factory=list)
 
     # ------------------------------------------------------------------
     @property
@@ -95,7 +104,7 @@ class IngestReport:
 
     def to_payload(self) -> dict:
         """JSON-safe dict (for logging / result files)."""
-        return {
+        payload = {
             "path": self.path,
             "policy": dict(self.policy),
             "lines_total": self.lines_total,
@@ -113,6 +122,13 @@ class IngestReport:
             "gzip": self.gzip,
             "format_version": self.format_version,
         }
+        if self.sources:
+            payload["sources"] = list(self.sources)
+        if self.quarantine_paths:
+            payload["quarantine_paths"] = list(self.quarantine_paths)
+        if self.shard_timings:
+            payload["shard_timings"] = [dict(row) for row in self.shard_timings]
+        return payload
 
     def to_json(self) -> str:
         return json.dumps(self.to_payload(), indent=2)

@@ -1,0 +1,240 @@
+"""Ordered merge: fold shard results into one serial-identical stream.
+
+The merge owns the three things a chunk cannot decide alone:
+
+1. **First strict offender.**  Serial semantics: a strict *parse-stage*
+   offender raises while reading (before any vectorised check), and among
+   vectorised classes the first class in taxonomy order with any offender
+   raises, picking its smallest (source, line).  Workers ship markers
+   instead of raising; the merge re-raises the globally first one — so a
+   strict failure names exactly the line the serial pipeline would have
+   named, regardless of worker finish order.
+2. **Stream-global checks.**  ``out_of_order`` and ``duplicate_edge``
+   depend on every preceding event (a duplicate's first occurrence may
+   live in any earlier chunk), so the merge concatenates the partial
+   columns in stream order and runs :func:`repro.ingest.loader._validate_stream`
+   — literally the serial code — over the whole stream.  Offender keys are
+   composite ``source_idx * 2**40 + lineno`` values; for a single-file
+   load ``source_idx`` is 0, so the keys *are* the line numbers and the
+   strict/quarantine bookkeeping is bit-for-bit the serial one.
+3. **Sidecar + report folding.**  Per-class counters sum (worker partials
+   plus the merge's own stream-check flags), quarantined lines group per
+   source file and write through the serial ``_write_rejects`` (same
+   header, same ordering, same bytes), and the merged
+   :class:`~repro.ingest.report.IngestReport` carries per-shard timings.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.ingest.errors import TraceFormatError
+from repro.ingest.loader import (
+    _fetch_lines,
+    _Ingest,
+    _strict_error,
+    _validate_stream,
+    _write_rejects,
+    stream_checksum,
+)
+from repro.ingest.policy import IngestPolicy
+from repro.ingest.report import IngestReport
+from repro.ingest.shard.planner import ShardSpec
+
+#: bits reserved for the per-source line number in composite merge keys.
+#: 2**40 lines (~1.1e12) per file; numpy int64 holds source_idx < 2**23.
+SOURCE_SHIFT = 40
+
+#: taxonomy order of the vector-stage classes workers can defer on.
+_LOCAL_CLASS_ORDER = {
+    "bad_node_id": 0,
+    "nonfinite_time": 1,
+    "negative_time": 2,
+    "self_loop": 3,
+}
+
+
+def _split_key(key: int) -> "tuple[int, int]":
+    return divmod(int(key), 1 << SOURCE_SHIFT)
+
+
+class _MergeIngest(_Ingest):
+    """Policy applier for the stream-global checks over merged columns.
+
+    Identical decision logic to the serial :class:`_Ingest` — only the
+    *interpretation* of offender keys changes: they are composite
+    ``(source_idx, lineno)`` values, decoded when raising a strict error
+    (so the message names the right file) and when recording quarantined
+    lines (grouped per source for the sidecar writers).
+    """
+
+    def __init__(
+        self,
+        sources: "list[str]",
+        policy: IngestPolicy,
+        report: IngestReport,
+    ) -> None:
+        super().__init__(sources[0], policy, report)
+        self.sources = sources
+        #: per-source lineno -> class, parallel to ``sources``.
+        self.per_source: "list[dict[int, str]]" = [dict() for _ in sources]
+
+    def strict_error(
+        self, error_class: str, key: int, detail: str, line: "str | None" = None
+    ) -> TraceFormatError:
+        source_idx, lineno = _split_key(key)
+        return _strict_error(
+            error_class, self.sources[source_idx], lineno, detail, line
+        )
+
+    def _quarantine_keys(self, error_class: str, keys: np.ndarray) -> None:
+        for key in keys.tolist():
+            source_idx, lineno = _split_key(key)
+            self.per_source[source_idx][lineno] = error_class
+
+
+def _raise_first_strict(
+    specs: "list[ShardSpec]", results: "list[dict]"
+) -> None:
+    """Re-raise the globally first deferred strict offender, if any."""
+    parse_markers = []  # (source_idx, lineno, class, line, detail, path)
+    vector_markers = []  # (class_order, source_idx, lineno, class, detail, path)
+    for spec, result in zip(specs, results):
+        pending = result.get("pending")
+        if pending is not None:
+            lineno, error_class, line, detail = pending
+            parse_markers.append(
+                (spec.source_idx, lineno, error_class, line, detail, spec.path)
+            )
+        deferred = result.get("deferred")
+        if deferred is not None:
+            error_class, lineno, detail = deferred
+            vector_markers.append((
+                _LOCAL_CLASS_ORDER[error_class], spec.source_idx, lineno,
+                error_class, detail, spec.path,
+            ))
+    if parse_markers:
+        # Serial raises parse-stage offenders while *reading* — before any
+        # vectorised check ever runs — so they outrank vector markers.
+        source_idx, lineno, error_class, line, detail, path = min(
+            parse_markers, key=lambda m: (m[0], m[1])
+        )
+        raise _strict_error(error_class, path, lineno, detail, line)
+    if vector_markers:
+        order, source_idx, lineno, error_class, detail, path = min(
+            vector_markers, key=lambda m: (m[0], m[1], m[2])
+        )
+        raise _strict_error(error_class, path, lineno, detail)
+
+
+def _fold_counts(report: IngestReport, results: "list[dict]") -> None:
+    """Sum the worker-partial counters into the merged report."""
+    for result in results:
+        report.lines_total += result["lines_total"]
+        report.blank_lines += result["blank_lines"]
+        report.comment_lines += result["comment_lines"]
+        report.events_parsed += result["events_parsed"]
+        if report.format_version is None and result["format_version"] is not None:
+            # Results iterate in stream order, so the first header wins —
+            # the same line the serial reader would have taken it from.
+            report.format_version = result["format_version"]
+        for bucket, key in (
+            (report.flagged, "flagged"),
+            (report.repaired, "repaired"),
+            (report.quarantined, "quarantined_counts"),
+        ):
+            for error_class, count in result[key].items():
+                bucket[error_class] = bucket.get(error_class, 0) + count
+
+
+def _write_sidecars(
+    sources: "list[str]",
+    specs: "list[ShardSpec]",
+    results: "list[dict]",
+    merge_ingest: _MergeIngest,
+    quarantine_path: "str | os.PathLike[str] | None",
+    report: IngestReport,
+) -> None:
+    """Write per-source ``.rejects`` sidecars, byte-identical to serial.
+
+    Single-source loads honour ``quarantine_path`` exactly like the
+    serial path (default ``<path>.rejects``); multi-source loads derive
+    one sidecar per source file (``<source>.rejects``).  Worker-captured
+    raw lines cover the chunk-local classes; only lines quarantined by
+    the merge's own stream checks need a re-read of their source.
+    """
+    per_source: "list[dict[int, str]]" = [dict(d) for d in merge_ingest.per_source]
+    raw_by_source: "list[dict[int, str]]" = [dict() for _ in sources]
+    for spec, result in zip(specs, results):
+        per_source[spec.source_idx].update(result["quarantined"])
+        raw_by_source[spec.source_idx].update(result["raw"])
+    written: list[str] = []
+    for source_idx, source in enumerate(sources):
+        quarantined = per_source[source_idx]
+        if not quarantined:
+            continue
+        raw = raw_by_source[source_idx]
+        missing = set(quarantined) - set(raw)
+        if missing:
+            raw.update(_fetch_lines(source, missing))
+        if len(sources) == 1:
+            sidecar = quarantine_path or f"{source}.rejects"
+        else:
+            sidecar = f"{source}.rejects"
+        _write_rejects(sidecar, source, quarantined, raw=raw)
+        written.append(str(sidecar))
+    if written:
+        report.quarantine_path = written[0]
+        report.quarantine_paths = written
+
+
+def merge_shards(
+    specs: "list[ShardSpec]",
+    results: "list[dict]",
+    sources: "list[str]",
+    policy: IngestPolicy,
+    report: IngestReport,
+    quarantine_path: "str | os.PathLike[str] | None" = None,
+) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
+    """Concatenate shard results and finish the serial pipeline.
+
+    ``specs``/``results`` must be parallel lists in stream order.
+    Returns the accepted ``(us, vs, ts)`` columns; the merged counters,
+    sidecars, checksum and time span land on ``report``.
+    """
+    if len(sources) > 1 and quarantine_path is not None:
+        raise ValueError(
+            "quarantine_path applies to single-source loads only; "
+            "multi-source shard sets write one <source>.rejects per file"
+        )
+    _raise_first_strict(specs, results)
+    _fold_counts(report, results)
+    if results:
+        keys = np.concatenate([
+            result["ln"] + (spec.source_idx << SOURCE_SHIFT)
+            for spec, result in zip(specs, results)
+        ])
+        u = np.concatenate([result["u"] for result in results])
+        v = np.concatenate([result["v"] for result in results])
+        t = np.concatenate([result["t"] for result in results])
+    else:
+        keys = np.zeros(0, dtype=np.int64)
+        u = keys.copy()
+        v = keys.copy()
+        t = np.zeros(0, dtype=np.float64)
+    merge_ingest = _MergeIngest(sources, policy, report)
+    us, vs, ts = _validate_stream(keys, u, v, t, merge_ingest)
+    _write_sidecars(
+        sources, specs, results, merge_ingest, quarantine_path, report
+    )
+    report.events_accepted = len(ts)
+    if len(ts):
+        report.min_time = float(ts[0])
+        report.max_time = float(ts[-1])
+    report.checksum = stream_checksum(us, vs, ts)
+    return us, vs, ts
+
+
+__all__ = ["SOURCE_SHIFT", "merge_shards"]

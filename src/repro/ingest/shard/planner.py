@@ -1,0 +1,352 @@
+"""Shard planner: line-aligned byte ranges and the ``repro-shards v1`` manifest.
+
+Splitting rules (documented in docs/reproduction_guide.md):
+
+- **Plain-text files** split into byte-range chunks of roughly
+  ``shard_bytes`` each.  A provisional boundary at ``k * shard_bytes`` is
+  advanced to just after the next ``b"\\n"``, so every chunk starts at a
+  line start and no line straddles two chunks.  A ``\\r\\n`` terminator can
+  never straddle a boundary (the boundary follows the ``\\n``), and a
+  chunk after the first is decoded as plain UTF-8 (no BOM stripping — a
+  BOM is only meaningful at file start), so each chunk decodes to exactly
+  the lines the serial reader would have produced for that range.
+- **Gzip files** (sniffed by magic bytes, like the serial loader) become
+  one shard each: DEFLATE streams have no random access, so gzip inputs
+  parallelise at *file* granularity only.  Multi-member gzip files are
+  still one shard — ``gzip.open`` reads all members sequentially.
+
+While finding boundaries the planner also makes one sequential pass over
+each plain file, hashing every chunk (truncated sha256 — the manifest /
+result-cache key) and counting its line breaks.  The line counts give
+every chunk its global ``start_line``, which the workers need because
+2-column legacy lines take their *line number* as the synthetic
+timestamp — global line numbers must therefore be known before any chunk
+is parsed.  This scan is a byte-level pass (``bytes.count``), far cheaper
+than parsing, and is the serial fraction of the sharded ingest.
+
+Line counting replicates the universal-newline semantics of the serial
+text reader: ``\\n``, ``\\r`` and ``\\r\\n`` each end one line, so breaks
+= ``count(\\n) + count(\\r) - count(\\r\\n)`` (with a carry for a ``\\r\\n``
+split across two read buffers), plus one trailing line when the chunk
+does not end in a break character.
+"""
+
+from __future__ import annotations
+
+import json
+import hashlib
+import os
+from dataclasses import dataclass
+
+from repro.ingest.errors import RejectRecord
+from repro.ingest.loader import is_gzip
+
+#: manifest format tag; bump on incompatible layout changes.
+MANIFEST_FORMAT = "repro-shards v1"
+
+#: default split size for plain-text files when neither ``shard_bytes``
+#: nor a shard-count target is given.
+DEFAULT_SHARD_BYTES = 32 * 1024 * 1024
+
+#: smallest shard the planner will deliberately create; below this the
+#: per-shard overhead (process dispatch, chunk decode) dwarfs the work.
+MIN_SHARD_BYTES = 1 << 16
+
+#: read-buffer size for the planner's hashing/counting pass.
+_SCAN_BUFFER = 1 << 20
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One planned unit of parallel ingest work."""
+
+    #: global shard index, in stream (source, offset) order.
+    index: int
+    path: str
+    #: position of ``path`` in the source list (stream order of files).
+    source_idx: int
+    byte_start: int
+    byte_end: int
+    #: 1-based line number of the chunk's first line within its file.
+    start_line: int
+    #: lines in the chunk; -1 for gzip shards (not pre-scanned — counting
+    #: would mean decompressing the file twice).
+    line_count: int
+    #: truncated sha256 over the raw (possibly compressed) chunk bytes.
+    checksum: str
+    gzip: bool
+
+    def to_payload(self) -> dict:
+        return {
+            "index": self.index,
+            "path": self.path,
+            "source_idx": self.source_idx,
+            "byte_start": self.byte_start,
+            "byte_end": self.byte_end,
+            "start_line": self.start_line,
+            "line_count": self.line_count,
+            "checksum": self.checksum,
+            "gzip": self.gzip,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "ShardSpec":
+        return cls(**{k: payload[k] for k in (
+            "index", "path", "source_idx", "byte_start", "byte_end",
+            "start_line", "line_count", "checksum", "gzip",
+        )})
+
+
+def _scan_chunk(fh, start: int, end: int) -> "tuple[str, int]":
+    """Hash + line-count the byte range ``[start, end)`` of ``fh``."""
+    fh.seek(start)
+    digest = hashlib.sha256()
+    breaks = 0
+    prev_cr = False
+    last = b""
+    remaining = end - start
+    while remaining:
+        buf = fh.read(min(_SCAN_BUFFER, remaining))
+        if not buf:
+            break
+        remaining -= len(buf)
+        digest.update(buf)
+        breaks += buf.count(b"\n") + buf.count(b"\r") - buf.count(b"\r\n")
+        if prev_cr and buf[:1] == b"\n":
+            breaks -= 1  # one \r\n split across the buffer seam
+        prev_cr = buf.endswith(b"\r")
+        last = buf[-1:]
+    lines = breaks
+    if end > start and last not in (b"\n", b"\r"):
+        lines += 1  # trailing line without a terminator
+    return digest.hexdigest()[:16], lines
+
+
+def _hash_file(path: "str | os.PathLike[str]") -> str:
+    digest = hashlib.sha256()
+    with open(path, "rb") as fh:
+        while True:
+            buf = fh.read(_SCAN_BUFFER)
+            if not buf:
+                break
+            digest.update(buf)
+    return digest.hexdigest()[:16]
+
+
+def _plain_boundaries(
+    path: "str | os.PathLike[str]", size: int, shard_bytes: int
+) -> "list[int]":
+    """Byte offsets splitting ``path`` into line-aligned chunks.
+
+    Returns ``[0, b1, ..., size]``; every interior boundary sits just
+    after a ``b"\\n"``.  A file with no newline within ``shard_bytes`` of
+    a provisional boundary simply gets a longer chunk.
+    """
+    bounds = [0]
+    with open(path, "rb") as fh:
+        while True:
+            provisional = bounds[-1] + shard_bytes
+            if provisional >= size:
+                break
+            fh.seek(provisional)
+            pos = provisional
+            while True:
+                buf = fh.read(_SCAN_BUFFER)
+                if not buf:
+                    pos = size
+                    break
+                nl = buf.find(b"\n")
+                if nl >= 0:
+                    pos += nl + 1
+                    break
+                pos += len(buf)
+            if pos >= size:
+                break
+            bounds.append(pos)
+    bounds.append(size)
+    return bounds
+
+
+def resolve_shard_bytes(
+    paths: "list[str]",
+    shard_bytes: "int | None" = None,
+    target_shards: "int | None" = None,
+    jobs: "int | None" = None,
+) -> int:
+    """Pick the plain-file split size.
+
+    Explicit ``shard_bytes`` wins; otherwise aim for ``target_shards``
+    chunks over the total plain-file bytes (default ``2 * jobs`` so the
+    pool stays busy even when chunk parse times vary), clamped to
+    [:data:`MIN_SHARD_BYTES`, :data:`DEFAULT_SHARD_BYTES`].
+    """
+    if shard_bytes is not None:
+        if shard_bytes < 1:
+            raise ValueError(f"shard_bytes must be >= 1, got {shard_bytes}")
+        return int(shard_bytes)
+    plain_total = sum(
+        os.path.getsize(p) for p in paths if not is_gzip(p)
+    )
+    target = target_shards if target_shards else 2 * max(1, jobs or 1)
+    derived = -(-plain_total // max(1, target))  # ceil division
+    return int(min(DEFAULT_SHARD_BYTES, max(MIN_SHARD_BYTES, derived)))
+
+
+def plan_shards(
+    paths: "list[str]",
+    shard_bytes: "int | None" = None,
+    target_shards: "int | None" = None,
+    jobs: "int | None" = None,
+) -> "list[ShardSpec]":
+    """Plan the shard set for ``paths`` (stream order = list order)."""
+    if not paths:
+        raise ValueError("plan_shards needs at least one trace path")
+    resolved = resolve_shard_bytes(
+        paths, shard_bytes=shard_bytes, target_shards=target_shards, jobs=jobs
+    )
+    specs: list[ShardSpec] = []
+    for source_idx, path in enumerate(paths):
+        path = str(path)
+        size = os.path.getsize(path)
+        if is_gzip(path):
+            specs.append(ShardSpec(
+                index=len(specs), path=path, source_idx=source_idx,
+                byte_start=0, byte_end=size, start_line=1, line_count=-1,
+                checksum=_hash_file(path), gzip=True,
+            ))
+            continue
+        bounds = _plain_boundaries(path, size, resolved)
+        start_line = 1
+        with open(path, "rb") as fh:
+            for lo, hi in zip(bounds, bounds[1:]):
+                checksum, lines = _scan_chunk(fh, lo, hi)
+                specs.append(ShardSpec(
+                    index=len(specs), path=path, source_idx=source_idx,
+                    byte_start=lo, byte_end=hi, start_line=start_line,
+                    line_count=lines, checksum=checksum, gzip=False,
+                ))
+                start_line += lines
+    return specs
+
+
+# ---------------------------------------------------------------------------
+# Manifest
+# ---------------------------------------------------------------------------
+def write_manifest(
+    path: "str | os.PathLike[str]",
+    specs: "list[ShardSpec]",
+    shard_bytes: int,
+    rejects: "dict[str, str] | None" = None,
+) -> None:
+    """Write the ``repro-shards v1`` JSON manifest, atomically.
+
+    ``rejects`` maps source path -> sidecar path for sources that
+    quarantined lines in the run the manifest describes; it is what lets
+    :func:`read_manifest_rejects` gather the full reject set back.
+    """
+    sources: list[dict] = []
+    seen: dict[str, dict] = {}
+    for spec in specs:
+        if spec.path not in seen:
+            entry = {
+                "path": spec.path,
+                "gzip": spec.gzip,
+                "size": os.path.getsize(spec.path),
+            }
+            if rejects and spec.path in rejects:
+                entry["rejects"] = rejects[spec.path]
+            seen[spec.path] = entry
+            sources.append(entry)
+    payload = {
+        "format": MANIFEST_FORMAT,
+        "shard_bytes": int(shard_bytes),
+        "sources": sources,
+        "shards": [spec.to_payload() for spec in specs],
+    }
+    tmp = f"{path}.tmp"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    os.replace(tmp, path)
+
+
+def read_manifest(path: "str | os.PathLike[str]") -> dict:
+    """Read + structurally validate a manifest; returns the payload with
+    ``shards`` replaced by :class:`ShardSpec` instances."""
+    with open(path, encoding="utf-8") as fh:
+        payload = json.load(fh)
+    if not isinstance(payload, dict) or payload.get("format") != MANIFEST_FORMAT:
+        raise ValueError(
+            f"{path}: not a {MANIFEST_FORMAT!r} manifest "
+            f"(format={payload.get('format') if isinstance(payload, dict) else None!r})"
+        )
+    try:
+        payload["shards"] = [
+            ShardSpec.from_payload(p) for p in payload["shards"]
+        ]
+    except (KeyError, TypeError) as exc:
+        raise ValueError(f"{path}: malformed shard entry: {exc}") from None
+    return payload
+
+
+def manifest_sources(path: "str | os.PathLike[str]") -> "list[str]":
+    """Source trace paths named by a manifest, in stream order."""
+    return [entry["path"] for entry in read_manifest(path)["sources"]]
+
+
+def read_manifest_rejects(
+    path: "str | os.PathLike[str]",
+) -> "list[RejectRecord]":
+    """Gather every reject record referenced by a shard manifest.
+
+    Records come back in stream order (source order, then line number)
+    with :attr:`RejectRecord.path` set to the source trace, so a
+    multi-file reject set round-trips losslessly even though per-source
+    line numbers overlap.  Sidecars the manifest names but that do not
+    exist (e.g. a re-run under a non-quarantining policy) are skipped.
+    """
+    from repro.ingest.loader import read_rejects  # circular at module load
+
+    records: list[RejectRecord] = []
+    for entry in read_manifest(path)["sources"]:
+        sidecar = entry.get("rejects")
+        if not sidecar or not os.path.exists(sidecar):
+            continue
+        for record in read_rejects(sidecar):
+            if isinstance(record, RejectRecord) and not record.path:
+                record = RejectRecord(
+                    record.lineno, record.error_class, record.line,
+                    entry["path"],
+                )
+            records.append(record)
+    return records
+
+
+def verify_shard(spec: ShardSpec) -> bool:
+    """True when the shard's bytes still hash to the planned checksum."""
+    try:
+        size = os.path.getsize(spec.path)
+        if spec.byte_end > size:
+            return False
+        if spec.gzip:
+            return spec.byte_end == size and _hash_file(spec.path) == spec.checksum
+        with open(spec.path, "rb") as fh:
+            checksum, _lines = _scan_chunk(fh, spec.byte_start, spec.byte_end)
+        return checksum == spec.checksum
+    except OSError:
+        return False
+
+
+__all__ = [
+    "MANIFEST_FORMAT",
+    "DEFAULT_SHARD_BYTES",
+    "MIN_SHARD_BYTES",
+    "ShardSpec",
+    "plan_shards",
+    "resolve_shard_bytes",
+    "write_manifest",
+    "read_manifest",
+    "manifest_sources",
+    "read_manifest_rejects",
+    "verify_shard",
+]

@@ -1,0 +1,198 @@
+"""Serial-vs-sharded ingest parity (repro.ingest.shard).
+
+The sharded pipeline's contract is *byte identity* with the serial one
+for every policy and every chunking: same accepted columns, same
+``stream_checksum``, same taxonomy counts, same rejects-sidecar bytes,
+and — under strict — the same first offender (class, file, line number,
+message).  A hypothesis suite drives randomly corrupted traces with
+randomly chosen line terminators, BOMs, headers and 2-column legacy
+lines (whose synthetic timestamp is the *global* line number — the
+sharpest test of shard ``start_line`` bookkeeping) through both paths
+at adversarially tiny shard sizes; the suite runs the in-process shard
+path (``jobs=1``) for speed, and a smaller non-hypothesis leg repeats
+the checks through a real 2-worker process pool.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ingest import IngestPolicy, TraceFormatError, scan_trace
+from repro.ingest.shard import scan_shards
+
+POLICIES = ["default", "strict", "repair", "quarantine"]
+
+#: one representative of every corruption the taxonomy classifies, plus
+#: shapes that stress shard bookkeeping (legacy 2-column lines take the
+#: global line number as timestamp; comments/blanks shift the count).
+_HOSTILE_LINES = [
+    "not an event",
+    "1 2 3 4 5",
+    "3.5 7 50.0",
+    "-3 7 50.0",
+    "1 2 nan",
+    "1 2 inf",
+    "4 5 -2.5",
+    "6 6 50.0",
+    "7 8",
+    "# a comment",
+    "",
+    "   ",
+]
+
+
+@st.composite
+def hostile_traces(draw):
+    """Bytes of a small dirty trace with mixed line terminators."""
+    n = draw(st.integers(min_value=0, max_value=30))
+    rng_times = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=100.0, allow_nan=False,
+                      allow_infinity=False, width=32),
+            min_size=n, max_size=n,
+        )
+    )
+    lines = []
+    if draw(st.booleans()):
+        lines.append("# repro-trace v2")
+    for i in range(n):
+        kind = draw(st.integers(min_value=0, max_value=9))
+        if kind < 6:  # mostly events, loosely increasing, some duplicates
+            u = draw(st.integers(min_value=0, max_value=8))
+            v = draw(st.integers(min_value=0, max_value=8))
+            lines.append(f"{u} {v} {rng_times[i]!r}")
+        else:
+            lines.append(draw(st.sampled_from(_HOSTILE_LINES)))
+    text = "".join(
+        line + draw(st.sampled_from(["\n", "\r\n", "\r"])) for line in lines
+    )
+    if lines and draw(st.booleans()):
+        text = text[: -len(text.splitlines(keepends=True)[-1])] + lines[-1]
+    bom = draw(st.booleans())
+    return ("\ufeff" + text if bom else text).encode("utf-8")
+
+
+def _outcome(fn, *args, **kwargs):
+    """(exception-or-None, value-or-None) so strict raises compare too."""
+    try:
+        return None, fn(*args, **kwargs)
+    except TraceFormatError as exc:
+        return exc, None
+
+
+def assert_parity(path, policy_name, shard_bytes, jobs=1, tmp_dir=None):
+    policy = IngestPolicy.from_string(policy_name)
+    base = tmp_dir if tmp_dir is not None else path.parent
+    serial_sidecar = base / "serial.rejects"
+    shard_sidecar = base / "shard.rejects"
+    serial_exc, serial = _outcome(
+        scan_trace, path, policy=policy, quarantine_path=serial_sidecar
+    )
+    shard_exc, sharded = _outcome(
+        scan_shards, [path], policy=policy, quarantine_path=shard_sidecar,
+        jobs=jobs, shard_bytes=shard_bytes,
+    )
+    if serial_exc is not None or shard_exc is not None:
+        assert serial_exc is not None and shard_exc is not None, (
+            serial_exc, shard_exc,
+        )
+        assert shard_exc.error_class == serial_exc.error_class
+        assert shard_exc.lineno == serial_exc.lineno
+        assert shard_exc.path == serial_exc.path
+        assert str(shard_exc) == str(serial_exc)
+        return
+    us, vs, ts, serial_report = serial
+    su, sv, st_, shard_report = sharded
+    assert su.tobytes() == us.tobytes()
+    assert sv.tobytes() == vs.tobytes()
+    assert st_.tobytes() == ts.tobytes()
+    assert shard_report.checksum == serial_report.checksum
+    for field in (
+        "lines_total", "blank_lines", "comment_lines", "events_parsed",
+        "events_accepted", "format_version", "flagged", "repaired",
+        "quarantined", "min_time", "max_time",
+    ):
+        assert getattr(shard_report, field) == getattr(serial_report, field), field
+    assert serial_sidecar.exists() == shard_sidecar.exists()
+    if serial_sidecar.exists():
+        assert shard_sidecar.read_bytes() == serial_sidecar.read_bytes()
+        shard_sidecar.unlink()
+    if serial_sidecar.exists():
+        serial_sidecar.unlink()
+
+
+class TestHypothesisParity:
+    @settings(max_examples=40, deadline=None)
+    @given(payload=hostile_traces(), policy_name=st.sampled_from(POLICIES),
+           shard_bytes=st.sampled_from([16, 61, 256, 1 << 16]))
+    def test_random_dirty_trace_parity(
+        self, tmp_path_factory, payload, policy_name, shard_bytes
+    ):
+        tmp = tmp_path_factory.mktemp("parity")
+        path = tmp / "trace.txt"
+        path.write_bytes(payload)
+        assert_parity(path, policy_name, shard_bytes, tmp_dir=tmp)
+
+    @settings(max_examples=15, deadline=None)
+    @given(payload=hostile_traces())
+    def test_chunking_invariance(self, tmp_path_factory, payload):
+        """The same file parses identically whatever the shard size."""
+        tmp = tmp_path_factory.mktemp("chunks")
+        path = tmp / "trace.txt"
+        path.write_bytes(payload)
+        policy = IngestPolicy.repair()
+        reference = None
+        for shard_bytes in (8, 33, 190, 1 << 20):
+            us, vs, ts, report = scan_shards(
+                [path], policy=policy, jobs=1, shard_bytes=shard_bytes
+            )
+            key = (us.tobytes(), vs.tobytes(), ts.tobytes(), report.checksum)
+            if reference is None:
+                reference = key
+            assert key == reference, shard_bytes
+
+
+@pytest.mark.parametrize("policy_name", POLICIES)
+def test_real_pool_parity(tmp_path, policy_name):
+    """The same contract through an actual 2-worker process pool."""
+    path = tmp_path / "trace.txt"
+    lines = ["# repro-trace v2"]
+    for i in range(400):
+        lines.append(f"{i % 13} {(i + 1) % 17} {0.5 * i!r}")
+        if i % 37 == 0:
+            lines.append(_HOSTILE_LINES[i // 37 % len(_HOSTILE_LINES)])
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    assert_parity(path, policy_name, shard_bytes=512, jobs=2)
+
+
+def test_multi_file_stream_equals_concatenated_serial(tmp_path):
+    """A shard *set* must equal serial ingest of the concatenated stream.
+
+    2-column lines make this sharp: their synthetic timestamp is the
+    per-file line number, so the concatenated reference is built from
+    per-file serial parses, not from a naive byte concatenation.
+    """
+    parts = []
+    for k in range(3):
+        part = tmp_path / f"part{k}.txt"
+        rows = [f"{k * 50 + i} {k * 50 + i + 1} {float(100 * k + i)!r}"
+                for i in range(40)]
+        rows.insert(5, "9 9 1.0")  # self-loop in every file
+        part.write_text("\n".join(rows) + "\n", encoding="utf-8")
+        parts.append(part)
+    policy = IngestPolicy.repair()
+    ref_cols = [scan_trace(p, policy=policy)[:3] for p in parts]
+    ref_u = np.concatenate([c[0] for c in ref_cols])
+    ref_v = np.concatenate([c[1] for c in ref_cols])
+    ref_t = np.concatenate([c[2] for c in ref_cols])
+    order = np.argsort(ref_t, kind="stable")
+    us, vs, ts, report = scan_shards(
+        parts, policy=policy, jobs=2, shard_bytes=256
+    )
+    assert us.tobytes() == ref_u[order].tobytes()
+    assert vs.tobytes() == ref_v[order].tobytes()
+    assert ts.tobytes() == ref_t[order].tobytes()
+    assert report.sources == [str(p) for p in parts]
